@@ -1,0 +1,300 @@
+package repro
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/blackboard"
+	"repro/internal/exp"
+	"repro/internal/instrument"
+	"repro/internal/mpi"
+	"repro/internal/tbon"
+	"repro/internal/trace"
+	"repro/internal/vmpi"
+)
+
+// ablationStream runs a small writer/reader coupling with custom stream
+// parameters and returns the achieved throughput in bytes/s. readerWork
+// adds per-block consumer computation (a bursty reader), which is what the
+// paper's adaptation window absorbs.
+func ablationStream(b *testing.B, writers, readers int, blockSize int64, window int, policy vmpi.BalancePolicy, readerWork time.Duration) float64 {
+	b.Helper()
+	const perWriter = 8 << 20
+	blocks := int(perWriter / blockSize)
+	p := exp.Tera100()
+	var layout *vmpi.Layout
+	w := mpi.NewWorld(p.MPIConfig(writers+readers),
+		mpi.Program{Name: "w", Procs: writers, Main: func(r *mpi.Rank) {
+			sess := layout.Init(r)
+			var m vmpi.Map
+			if err := sess.MapPartitions(1, vmpi.MapRoundRobin, &m); err != nil {
+				b.Error(err)
+				return
+			}
+			st := vmpi.NewStream(sess, blockSize, policy)
+			st.SetWindow(window, window)
+			if err := st.OpenMap(&m, "w"); err != nil {
+				b.Error(err)
+				return
+			}
+			for i := 0; i < blocks; i++ {
+				if err := st.Write(nil, blockSize); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+			st.Close()
+		}},
+		mpi.Program{Name: "r", Procs: readers, Main: func(r *mpi.Rank) {
+			sess := layout.Init(r)
+			var m vmpi.Map
+			if err := sess.MapPartitions(0, vmpi.MapRoundRobin, &m); err != nil {
+				b.Error(err)
+				return
+			}
+			st := vmpi.NewStream(sess, blockSize, policy)
+			st.SetWindow(window, window)
+			if err := st.OpenMap(&m, "r"); err != nil {
+				b.Error(err)
+				return
+			}
+			for {
+				blk, err := st.Read(false)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if blk == nil {
+					break
+				}
+				if readerWork > 0 {
+					// Bursty consumer: alternate heavy and free blocks.
+					// Constant-rate consumers pipeline even with NA=1;
+					// it is variance that the paper's adaptation window
+					// absorbs.
+					if st.Stats().BlocksRead%2 == 1 {
+						r.Compute(2 * readerWork)
+					}
+				}
+			}
+		}},
+	)
+	layout = vmpi.NewLayout(w)
+	if err := w.Run(); err != nil {
+		b.Fatal(err)
+	}
+	total := float64(writers) * float64(blocks) * float64(blockSize)
+	return total / w.ProgramFinish(1).Seconds()
+}
+
+// BenchmarkAblationStreamWindow varies the NA buffering window against a
+// bursty reader that computes while blocks arrive. The paper fixes NA=3;
+// the ablation shows why: NA=1 gives no adaptation window (transfer and
+// consumption serialize), while beyond a few buffers the return vanishes.
+func BenchmarkAblationStreamWindow(b *testing.B) {
+	// One writer per reader; the reader burns ~2× the block transfer time
+	// on every other block (bursty), so overlap is the whole game.
+	const work = 400 * time.Microsecond
+	results := map[int]float64{}
+	for _, window := range []int{1, 2, 3, 8, 32} {
+		window := window
+		b.Run("NA="+itoa(window), func(b *testing.B) {
+			var tp float64
+			for i := 0; i < b.N; i++ {
+				tp = ablationStream(b, 8, 8, 1<<20, window, vmpi.BalanceRoundRobin, work)
+			}
+			results[window] = tp
+			b.ReportMetric(tp/1e9, "GB/s")
+		})
+	}
+	if a, c := results[1], results[3]; a > 0 && c > 0 && c <= a {
+		b.Fatalf("the paper's NA=3 window (%g) should beat NA=1 (%g): no adaptation window", c, a)
+	}
+	if c, z := results[3], results[32]; c > 0 && z > 0 && z > c*1.5 {
+		b.Fatalf("NA=32 (%g) should not massively outperform NA=3 (%g)", z, c)
+	}
+}
+
+// BenchmarkAblationBlockSize varies the stream block size. The paper uses
+// ≈1 MB blocks; small blocks drown in per-message latency and protocol
+// overhead.
+func BenchmarkAblationBlockSize(b *testing.B) {
+	results := map[int64]float64{}
+	for _, bs := range []int64{4 << 10, 64 << 10, 1 << 20} {
+		bs := bs
+		b.Run("block="+itoa(int(bs>>10))+"KB", func(b *testing.B) {
+			var tp float64
+			for i := 0; i < b.N; i++ {
+				tp = ablationStream(b, 64, 8, bs, vmpi.NA, vmpi.BalanceRoundRobin, 0)
+			}
+			results[bs] = tp
+			b.ReportMetric(tp/1e9, "GB/s")
+		})
+	}
+	if small, big := results[4<<10], results[1<<20]; small > 0 && big > 0 && big < small {
+		b.Fatalf("1 MB blocks (%g) should beat 4 KB blocks (%g)", big, small)
+	}
+}
+
+// BenchmarkAblationBalancePolicy compares the three writer-side balancing
+// policies on a many-writers-to-few-readers coupling.
+func BenchmarkAblationBalancePolicy(b *testing.B) {
+	for _, pc := range []struct {
+		name   string
+		policy vmpi.BalancePolicy
+	}{
+		{"none", vmpi.BalanceNone},
+		{"random", vmpi.BalanceRandom},
+		{"round-robin", vmpi.BalanceRoundRobin},
+	} {
+		pc := pc
+		b.Run(pc.name, func(b *testing.B) {
+			var tp float64
+			for i := 0; i < b.N; i++ {
+				tp = ablationStream(b, 64, 8, 1<<20, vmpi.NA, pc.policy, 0)
+			}
+			b.ReportMetric(tp/1e9, "GB/s")
+		})
+	}
+}
+
+// BenchmarkAblationBlackboardWorkers varies the worker-pool size on a
+// fixed batch of compute-heavy jobs, showing the engine's natural
+// parallelism (paper §II-B). One op is ~10 µs of arithmetic; each
+// iteration pushes and drains 10 000 entries.
+func BenchmarkAblationBlackboardWorkers(b *testing.B) {
+	const batch = 2000
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run("workers="+itoa(workers), func(b *testing.B) {
+			bb := blackboard.New(blackboard.Config{Workers: workers})
+			defer bb.Close()
+			typ := blackboard.TypeID("abl", "n")
+			var sink atomic.Int64
+			if err := bb.Register(blackboard.KS{
+				Name:          "burn",
+				Sensitivities: []blackboard.Type{typ},
+				Op: func(_ *blackboard.Blackboard, in []*blackboard.Entry) {
+					x := 1.0
+					for i := 0; i < 200000; i++ {
+						x += x * 1e-9
+					}
+					sink.Add(int64(x))
+				},
+			}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < batch; j++ {
+					bb.Post(typ, 0, nil)
+				}
+				bb.Drain()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}
+
+// BenchmarkTBONVsStreams quantifies the paper's central architectural
+// argument (§V): tree-based overlay networks (MRNet/GTI/Periscope-style)
+// are efficient when data *reduces* on the way up, but funnel everything
+// through the front-end when it does not — full event streams — whereas
+// mapping applications onto all analysis processes maximizes the bisection
+// bandwidth. Three sub-benchmarks at equal producer counts:
+//
+//   - profile-merge/tbon: per-rank MPI profiles reduced up a fanout-16
+//     tree (the TBON sweet spot);
+//   - events/tbon: unreducible event packs concatenated up the same tree
+//     (the front-end NIC becomes the bottleneck);
+//   - events/streams: the same event volume through VMPI streams into an
+//     analysis partition (the paper's design).
+func BenchmarkTBONVsStreams(b *testing.B) {
+	const (
+		producers = 128
+		analyzers = 64 // two nodes' worth: the analysis partition spans
+		// several NICs, which is exactly the bisection the TBON's single
+		// front-end node cannot match.
+		fanout  = 16
+		waves   = 3
+		perWave = 1 << 20 // 1 MB per producer per wave
+	)
+	p := exp.Tera100()
+
+	runTBON := func(b *testing.B, filter tbon.Filter, payload func(rank, wave int) []byte) float64 {
+		var comm *mpi.Comm
+		var secs float64
+		w := mpi.NewWorld(p.MPIConfig(producers), mpi.Program{Name: "tree", Procs: producers, Main: func(r *mpi.Rank) {
+			node, err := tbon.New(r, comm, fanout)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			node.ReduceStream(waves,
+				func(wave int) []byte { return payload(r.Global(), wave) },
+				filter, nil)
+			if node.IsRoot() {
+				secs = r.Wtime()
+			}
+		}})
+		comm = w.NewComm(w.ProgramRanks(0))
+		if err := w.Run(); err != nil {
+			b.Fatal(err)
+		}
+		return secs
+	}
+
+	var tbonProfile, tbonEvents, streamEvents float64
+
+	b.Run("profile-merge/tbon", func(b *testing.B) {
+		prof := make(instrument.CallProfile)
+		prof.Add(&trace.Event{Kind: trace.KindSend, Size: 1024, TStart: 0, TEnd: 10})
+		encoded := prof.Encode()
+		for i := 0; i < b.N; i++ {
+			tbonProfile = runTBON(b, instrument.MergeEncodedProfiles,
+				func(_, _ int) []byte { return encoded })
+		}
+		b.ReportMetric(tbonProfile*1e3, "virtual-ms")
+	})
+
+	b.Run("events/tbon", func(b *testing.B) {
+		concat := func(children [][]byte, own []byte) []byte {
+			out := append([]byte(nil), own...)
+			for _, c := range children {
+				out = append(out, c...)
+			}
+			return out
+		}
+		block := make([]byte, perWave)
+		for i := 0; i < b.N; i++ {
+			tbonEvents = runTBON(b, concat, func(_, _ int) []byte { return block })
+		}
+		b.ReportMetric(tbonEvents*1e3, "virtual-ms")
+	})
+
+	b.Run("events/streams", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// Same producers, same per-producer volume, into an analysis
+			// partition sized at the paper's 1/16 trade-off.
+			pt, err := exp.StreamThroughput(p, producers, producers/analyzers, waves*perWave, perWave)
+			if err != nil {
+				b.Fatal(err)
+			}
+			streamEvents = pt.Seconds
+		}
+		b.ReportMetric(streamEvents*1e3, "virtual-ms")
+	})
+
+	if tbonEvents > 0 && streamEvents > 0 {
+		if streamEvents >= tbonEvents {
+			b.Fatalf("streams (%.3fs) should beat the TBON funnel (%.3fs) on unreducible events",
+				streamEvents, tbonEvents)
+		}
+		if tbonProfile >= tbonEvents {
+			b.Fatalf("reducible profiles (%.3fs) should cross the TBON far faster than raw events (%.3fs)",
+				tbonProfile, tbonEvents)
+		}
+	}
+}

@@ -1,0 +1,313 @@
+// Package repro's root benchmark harness: one benchmark per figure of the
+// paper's evaluation. Each benchmark regenerates its figure's data series
+// at a reduced default scale (so `go test -bench=.` completes in minutes)
+// and reports the figure's headline quantities as custom benchmark
+// metrics. The cmd/ tools run the same experiments at paper scale and
+// print the full tables; EXPERIMENTS.md records paper-vs-measured for
+// every figure.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/exp"
+	"repro/internal/nas"
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+// BenchmarkFig14StreamThroughput regenerates Figure 14's series: global
+// VMPI stream throughput for a grid of writer counts and writer/reader
+// ratios, reporting GB/s per point (compare with the prorated filesystem
+// share reported as fs-GB/s).
+func BenchmarkFig14StreamThroughput(b *testing.B) {
+	p := exp.Tera100()
+	for _, writers := range []int{64, 256, 1024} {
+		for _, ratio := range []int{1, 4, 16, 32} {
+			if ratio > writers {
+				continue
+			}
+			name := benchName("writers", writers, "ratio", ratio)
+			b.Run(name, func(b *testing.B) {
+				var last exp.StreamPoint
+				for i := 0; i < b.N; i++ {
+					pt, err := exp.StreamThroughput(p, writers, ratio, 16<<20, 1<<20)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = pt
+				}
+				b.ReportMetric(last.Throughput/1e9, "GB/s")
+				b.ReportMetric(last.FSShare/1e9, "fs-GB/s")
+			})
+		}
+	}
+}
+
+// BenchmarkFig15Overhead regenerates Figure 15's series: online-coupling
+// overhead at a 1:1 ratio per benchmark and class, reporting the overhead
+// percentage and the instrumentation bandwidth Bi.
+func BenchmarkFig15Overhead(b *testing.B) {
+	p := exp.Tera100()
+	for _, c := range exp.Fig15Cases() {
+		procs := nas.ValidProcs(c.Kind, 256)
+		w, err := nas.ByName(c.Kind, c.Class, procs, 8)
+		if err != nil {
+			continue
+		}
+		b.Run(w.Name+"-"+itoa(procs), func(b *testing.B) {
+			var last exp.OverheadPoint
+			for i := 0; i < b.N; i++ {
+				pt, err := exp.MeasureOverhead(p, w, exp.ToolOnline, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = pt
+			}
+			b.ReportMetric(last.OverheadPct, "overhead-%")
+			b.ReportMetric(last.Bi/1e6, "Bi-MB/s")
+			if last.OverheadPct > 30 {
+				b.Fatalf("overhead %f%% outside the paper's envelope", last.OverheadPct)
+			}
+		})
+	}
+}
+
+// BenchmarkFig16ToolComparison regenerates Figure 16's series: SP.D under
+// the five tool configurations, reporting overhead percent and data volume
+// per tool. The shape criterion — at scale, the FS-bound trace tool costs
+// more than the online coupling despite producing less data — is asserted.
+func BenchmarkFig16ToolComparison(b *testing.B) {
+	p := exp.Curie()
+	// 2025 = 45² cores: large enough that the online tool's per-event cost
+	// (≈1.2 %) and the trace tool's FS pressure dominate the deterministic
+	// synchronization-phase noise (≈±0.5 %).
+	const procs = 2025
+	w, err := nas.SP(nas.ClassD, procs, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref, err := exp.MeasureOverhead(p, w, exp.ToolReference, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	results := map[exp.Tool]exp.OverheadPoint{}
+	for _, tool := range exp.Tools() {
+		tool := tool
+		b.Run(tool.String(), func(b *testing.B) {
+			var last exp.OverheadPoint
+			for i := 0; i < b.N; i++ {
+				pt, err := exp.MeasureOverheadWithRef(p, w, tool, 1, ref.RefSeconds)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = pt
+			}
+			results[tool] = last
+			b.ReportMetric(last.OverheadPct, "overhead-%")
+			b.ReportMetric(float64(last.DataBytes)/(1<<20), "data-MB")
+		})
+	}
+	online, trc := results[exp.ToolOnline], results[exp.ToolScorePTrace]
+	if online.Seconds > 0 && trc.Seconds > 0 {
+		if online.DataBytes <= trc.DataBytes {
+			b.Fatalf("online volume (%d) should exceed trace volume (%d)", online.DataBytes, trc.DataBytes)
+		}
+		if trc.OverheadPct <= online.OverheadPct {
+			b.Fatalf("at %d procs the trace tool (%.2f%%) should cost more than online (%.2f%%)",
+				procs, trc.OverheadPct, online.OverheadPct)
+		}
+	}
+}
+
+// BenchmarkFig17Topology regenerates Figure 17's topological outputs: the
+// CG.D communication matrix on 128 cores (17a/17b) plus the SP and
+// EulerMHD topology graphs, asserting their structural signatures.
+func BenchmarkFig17Topology(b *testing.B) {
+	p := exp.Tera100()
+	cases := []struct {
+		name string
+		mk   func() (*nas.Workload, error)
+		// verify checks the figure's structural signature.
+		verify func(b *testing.B, mat *analysis.Matrix)
+	}{
+		{"CG.D-128", func() (*nas.Workload, error) { return nas.CG(nas.ClassD, 128, 3) },
+			func(b *testing.B, mat *analysis.Matrix) {
+				// Power-of-two ladder bands: distance 1, 2, 4, 8 edges in
+				// the first process row (npcols = 16 for p = 128).
+				for _, d := range []int{1, 2, 4, 8} {
+					if h, _, _ := mat.At(0, d); h == 0 {
+						b.Fatalf("CG matrix missing distance-%d band", d)
+					}
+				}
+			}},
+		{"SP.C-256", func() (*nas.Workload, error) { return nas.SP(nas.ClassC, 256, 3) },
+			func(b *testing.B, mat *analysis.Matrix) {
+				// Torus: every rank has exactly 4 neighbours.
+				for r := 0; r < mat.N; r++ {
+					if mat.Degree(r) != 4 {
+						b.Fatalf("SP rank %d degree = %d, want 4", r, mat.Degree(r))
+					}
+				}
+			}},
+		{"EulerMHD-256", func() (*nas.Workload, error) { return nas.EulerMHD(256, 2) },
+			func(b *testing.B, mat *analysis.Matrix) {
+				// Non-periodic mesh: corners 2, interior 4.
+				if mat.Degree(0) != 2 {
+					b.Fatalf("EulerMHD corner degree = %d", mat.Degree(0))
+				}
+				if mat.Degree(mat.N/2+2) != 4 {
+					b.Fatalf("EulerMHD interior degree = %d", mat.Degree(mat.N/2+2))
+				}
+			}},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			w, err := c.mk()
+			if err != nil {
+				b.Fatal(err)
+			}
+			var mat *analysis.Matrix
+			var events int64
+			for i := 0; i < b.N; i++ {
+				rep, err := exp.ProfileRun(p, []*nas.Workload{w}, exp.ProfileOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				mat = rep.Chapters[0].Topology.Matrix()
+				events = rep.Chapters[0].Profiler.Events()
+			}
+			c.verify(b, mat)
+			b.ReportMetric(float64(events), "events")
+			b.ReportMetric(float64(mat.TotalBytes())/(1<<20), "p2p-MB")
+		})
+	}
+}
+
+// BenchmarkFig18DensityMaps regenerates Figure 18's density maps: LU's
+// send-hit and size maps (18a/18b) and BT's collective-time, wait-time and
+// p2p-size maps (18c/18d/18e), asserting the paper's qualitative findings
+// (neighbour-count correlation; symmetric wait imbalance with a ≈2×
+// spread; sub-percent size imbalance).
+func BenchmarkFig18DensityMaps(b *testing.B) {
+	p := exp.Tera100()
+	b.Run("LU.D-send-hits", func(b *testing.B) {
+		w, err := nas.LU(nas.ClassD, 64, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var hits []float64
+		for i := 0; i < b.N; i++ {
+			rep, err := exp.ProfileRun(p, []*nas.Workload{w}, exp.ProfileOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			hits = rep.Chapters[0].Density.Map(trace.KindSend, analysis.MetricHits)
+		}
+		// 8x8 mesh: corner (2 neighbours) < edge (3) < interior (4).
+		if !(hits[0] < hits[1] && hits[1] < hits[9]) {
+			b.Fatalf("send hits don't follow neighbour count: %v %v %v", hits[0], hits[1], hits[9])
+		}
+		st := report.Stats(hits)
+		b.ReportMetric(st.Imbalance, "imbalance")
+	})
+	b.Run("BT.D-wait-and-size", func(b *testing.B) {
+		// 100 = 10² ranks: 408 % 10 != 0, so the remainder split yields
+		// the paper's small p2p size imbalance (Figure 18e).
+		w, err := nas.BT(nas.ClassD, 100, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var waits, sizes []float64
+		for i := 0; i < b.N; i++ {
+			rep, err := exp.ProfileRun(p, []*nas.Workload{w}, exp.ProfileOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			waits = rep.Chapters[0].Density.CollectiveTimeMap()
+			sizes = rep.Chapters[0].Density.P2PSizeMap()
+		}
+		wst, sst := report.Stats(waits), report.Stats(sizes)
+		// Collective-time spread clearly above flat (paper: red ≈1.7×
+		// green) but bounded: max/mean between 1.2 and 5.
+		if wst.Imbalance < 1.2 || wst.Imbalance > 5 {
+			b.Fatalf("collective-time imbalance out of shape: %+v", wst)
+		}
+		// P2P size spread present but small (paper: ≈0.6 %; the remainder
+		// split gives a few percent at this reduced grid).
+		if sst.Max <= sst.Min {
+			b.Fatalf("expected a small p2p size imbalance: %+v", sst)
+		}
+		if sst.Max/sst.Min > 1.35 {
+			b.Fatalf("p2p size spread too large: %+v", sst)
+		}
+		b.ReportMetric(wst.Imbalance, "wait-imbalance")
+		b.ReportMetric(sst.Max/sst.Min, "size-spread")
+	})
+}
+
+func benchName(k1 string, v1 int, k2 string, v2 int) string {
+	return k1 + "=" + itoa(v1) + "/" + k2 + "=" + itoa(v2)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkRatioTradeoff tests the paper's resource-dimensioning claim
+// (§IV-B): overhead is flat for writer/reader ratios between 1 and ≈1/16
+// and rises once the analysis partition's ingest capacity drops below the
+// application's instrumentation bandwidth. The run is long enough (32
+// timesteps) that steady-state pack flushes, not the synchronized finalize
+// flush, dominate the stream traffic.
+func BenchmarkRatioTradeoff(b *testing.B) {
+	p := exp.Tera100()
+	w, err := nas.SP(nas.ClassC, 1024, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ratios := []int{1, 4, 16, 64}
+	var pts []exp.OverheadPoint
+	for i := 0; i < b.N; i++ {
+		pts, err = exp.RatioSweep(p, w, ratios)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	byRatio := map[int]exp.OverheadPoint{}
+	for _, pt := range pts {
+		byRatio[pt.Ratio] = pt
+		b.Logf("ratio 1:%-3d overhead %6.2f%%  Bi %8.1f MB/s", pt.Ratio, pt.OverheadPct, pt.Bi/1e6)
+	}
+	lo, mid, hi := byRatio[1], byRatio[16], byRatio[64]
+	b.ReportMetric(lo.OverheadPct, "ovh-1:1-%")
+	b.ReportMetric(mid.OverheadPct, "ovh-1:16-%")
+	b.ReportMetric(hi.OverheadPct, "ovh-1:64-%")
+	// The extreme ratio must cost clearly more than 1:1...
+	if hi.OverheadPct < lo.OverheadPct+2 {
+		b.Fatalf("starved analyzers (1:64 = %.2f%%) should exceed 1:1 (%.2f%%)",
+			hi.OverheadPct, lo.OverheadPct)
+	}
+	// ...while the paper's recommended band stays within a few points of
+	// 1:1 (our synchronized pack flushes burst harder than real tools'
+	// staggered buffers, so the band is slightly wider than the paper's).
+	if mid.OverheadPct > lo.OverheadPct+8 {
+		b.Fatalf("1:16 (%.2f%%) should stay near 1:1 (%.2f%%)", mid.OverheadPct, lo.OverheadPct)
+	}
+	if hi.OverheadPct <= mid.OverheadPct {
+		b.Fatalf("overhead should grow monotonically past the knee: 1:64 %.2f%% vs 1:16 %.2f%%",
+			hi.OverheadPct, mid.OverheadPct)
+	}
+}

@@ -1,0 +1,89 @@
+// Command overhead regenerates the paper's Figure 15: relative
+// instrumentation overhead of the online coupling (one analysis core per
+// instrumented process, the paper's 1:1 ratio) for the NAS benchmarks and
+// EulerMHD across process counts, together with each run's average
+// instrumentation data bandwidth Bi.
+//
+// The paper's full sweep is:
+//
+//	overhead -procs 64,144,256,484,900,1156 -iters 0
+//
+// (iters 0 selects the official NAS iteration counts; the default is a
+// reduced count that preserves overhead ratios, see DESIGN.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/exp"
+	"repro/internal/nas"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("overhead: ")
+	var (
+		benchFlag    = flag.String("benches", "BT.C,BT.D,CG.C,FT.C,LU.C,LU.D,SP.C,SP.D,EulerMHD", "benchmark list (NAME.CLASS or EulerMHD)")
+		procsFlag    = flag.String("procs", "64,144,256,484,900", "process counts (snapped per benchmark)")
+		itersFlag    = flag.Int("iters", 12, "timesteps per run (0 = official NAS counts)")
+		ratioFlag    = flag.Int("ratio", 1, "writer/reader ratio for the analysis partition")
+		repeatFlag   = flag.Int("repeats", 3, "noise-seed passes averaged per point (the paper averages 3)")
+		platformFlag = flag.String("platform", "tera100", "platform model (tera100 or curie)")
+	)
+	flag.Parse()
+
+	procs, err := cliutil.ParseInts(*procsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	platform, err := cliutil.PlatformByName(*platformFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cases, err := parseCases(*benchFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var points []exp.OverheadPoint
+	for _, c := range cases {
+		seen := map[int]bool{}
+		for _, p := range procs {
+			p = nas.ValidProcs(c.Kind, p)
+			if p < 2 || seen[p] {
+				continue
+			}
+			seen[p] = true
+			w, err := nas.ByName(c.Kind, c.Class, p, *itersFlag)
+			if err != nil {
+				continue // unsupported combination, omitted like the paper
+			}
+			pt, err := exp.MeasureOverheadAvg(platform, w, exp.ToolOnline, *ratioFlag, *repeatFlag)
+			if err != nil {
+				log.Fatal(err)
+			}
+			points = append(points, pt)
+			fmt.Fprintf(os.Stderr, "done %s procs=%d ovh=%.2f%%\n", pt.Bench, pt.Procs, pt.OverheadPct)
+		}
+	}
+	exp.WriteOverheadTable(os.Stdout,
+		fmt.Sprintf("Figure 15: online-coupling overhead at ratio 1:%d on %s (%d passes averaged)",
+			*ratioFlag, platform.Name, *repeatFlag),
+		points)
+}
+
+func parseCases(s string) ([]exp.Fig15Case, error) {
+	specs, err := cliutil.ParseBenches(s)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]exp.Fig15Case, 0, len(specs))
+	for _, spec := range specs {
+		out = append(out, exp.Fig15Case{Kind: spec.Kind, Class: nas.Class(spec.Class)})
+	}
+	return out, nil
+}

@@ -1,0 +1,178 @@
+// Command profiler runs one or more instrumented applications coupled to
+// the distributed analysis engine and writes the resulting profiling
+// report — the full pipeline behind the paper's Figures 17 and 18.
+//
+// Applications are given as NAME.CLASS@PROCS items; several items run
+// concurrently in one MPMD job and are profiled by one multi-level
+// blackboard, each getting its own report chapter:
+//
+//	profiler -apps CG.D@128                      # Figure 17a/17b
+//	profiler -apps LU.D@1024 -iters 10           # Figure 18a/18b
+//	profiler -apps BT.D@1024 -iters 10           # Figure 18c/18d/18e
+//	profiler -apps EulerMHD@2048 -iters 5        # Figure 17c
+//	profiler -apps LU.C@64,CG.C@64               # concurrent profiling
+//
+// Besides the textual report (stdout), -out writes per-application
+// artifacts: communication matrix CSV, topology DOT graph, and density-map
+// PGM images.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/cliutil"
+	"repro/internal/exp"
+	"repro/internal/nas"
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("profiler: ")
+	var (
+		appsFlag     = flag.String("apps", "CG.D@128", "applications: NAME.CLASS@PROCS[,...]")
+		itersFlag    = flag.Int("iters", 6, "timesteps per application (0 = official counts)")
+		analyzerFlag = flag.Int("analyzers", 0, "analysis partition size (0 = procs/16)")
+		workersFlag  = flag.Int("workers", 0, "blackboard worker threads (0 = GOMAXPROCS)")
+		outFlag      = flag.String("out", "", "directory for CSV/DOT/PGM artifacts (empty = none)")
+		latexFlag    = flag.String("latex", "", "write the report as a compilable LaTeX document to this file")
+		jsonFlag     = flag.String("json", "", "write the full analysis as JSON to this file")
+		waitFlag     = flag.Bool("waitstate", false, "enable the late-sender wait-state analysis")
+		temporalFlag = flag.Duration("temporal", 0, "temporal-map bucket width in virtual time (e.g. 100ms; 0 = off)")
+		sitesFlag    = flag.Bool("callsites", false, "enable the per-call-site breakdown")
+		sizesFlag    = flag.Bool("sizes", false, "enable the message-size distribution")
+		exportFlag   = flag.String("export", "", "directory for selective otf2lite trace archives (one per app; empty = off)")
+		exportP2P    = flag.Bool("export-p2p-only", false, "export only point-to-point events")
+		platformFlag = flag.String("platform", "tera100", "platform model (tera100 or curie)")
+	)
+	flag.Parse()
+
+	platform, err := cliutil.PlatformByName(*platformFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	workloads, err := parseApps(*appsFlag, *itersFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := exp.ProfileOptions{
+		Analyzers:        *analyzerFlag,
+		Workers:          *workersFlag,
+		WaitState:        *waitFlag,
+		TemporalWindowNs: temporalFlag.Nanoseconds(),
+		Callsites:        *sitesFlag,
+		Sizes:            *sizesFlag,
+	}
+	if *exportFlag != "" {
+		if err := os.MkdirAll(*exportFlag, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		if *exportP2P {
+			opts.ExportFilter = func(e *trace.Event) bool { return e.Kind.IsP2P() }
+		}
+		opts.Export = func(app string, m *analysis.ExportModule) {
+			name := filepath.Join(*exportFlag, strings.ReplaceAll(app, ".", "_")+".o2l")
+			f, err := os.Create(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := m.WriteArchive(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "exported %d events to %s (%d filtered out)\n",
+				m.Exported(), name, m.Dropped())
+		}
+	}
+	rep, err := exp.ProfileRun(platform, workloads, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rep.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if *latexFlag != "" {
+		f, err := os.Create(*latexFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.RenderLaTeX(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "LaTeX report written to %s\n", *latexFlag)
+	}
+	if *jsonFlag != "" {
+		f, err := os.Create(*jsonFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.WriteJSON(f, false); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "JSON analysis written to %s\n", *jsonFlag)
+	}
+	if *outFlag != "" {
+		if err := writeArtifacts(*outFlag, rep); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "artifacts written to %s\n", *outFlag)
+	}
+}
+
+func parseApps(s string, iters int) ([]*nas.Workload, error) {
+	specs, err := cliutil.ParseApps(s)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*nas.Workload, 0, len(specs))
+	for _, spec := range specs {
+		procs := nas.ValidProcs(spec.Kind, spec.Procs)
+		w, err := nas.ByName(spec.Kind, nas.Class(spec.Class), procs, iters)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+func writeArtifacts(dir string, rep *report.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, ch := range rep.Chapters {
+		base := filepath.Join(dir, strings.ReplaceAll(ch.App, ".", "_"))
+		mat := ch.Topology.Matrix()
+		files := map[string][]byte{
+			base + "_matrix_bytes.csv": []byte(report.MatrixCSV(mat, analysis.MetricBytes)),
+			base + "_matrix_hits.csv":  []byte(report.MatrixCSV(mat, analysis.MetricHits)),
+			base + "_topology.dot":     []byte(report.DOT(ch.App, mat, analysis.MetricBytes)),
+			base + "_send_hits.pgm":    report.DensityPGM(ch.Density.Map(trace.KindSend, analysis.MetricHits)),
+			base + "_p2p_size.pgm":     report.DensityPGM(ch.Density.P2PSizeMap()),
+			base + "_wait_time.pgm":    report.DensityPGM(ch.Density.WaitTimeMap()),
+			base + "_coll_time.pgm":    report.DensityPGM(ch.Density.CollectiveTimeMap()),
+		}
+		for name, data := range files {
+			if err := os.WriteFile(name, data, 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

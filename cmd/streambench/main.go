@@ -1,0 +1,75 @@
+// Command streambench regenerates the paper's Figure 14: global VMPI
+// stream throughput between a writer and a reader partition, swept over
+// writer counts and writer/reader ratios, with the prorated filesystem
+// bandwidth as the comparison column.
+//
+// The paper's headline configuration (2560 writers + 2560 readers, 1 GB
+// per writer, 1 MB blocks) is reproduced with:
+//
+//	streambench -writers 2560 -ratios 1 -bytes 1G
+//
+// The default sweep is smaller so it completes in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("streambench: ")
+	var (
+		writersFlag  = flag.String("writers", "32,128,512,2560", "comma-separated writer counts")
+		ratiosFlag   = flag.String("ratios", "1,2,4,8,16,32,64", "comma-separated writer/reader ratios")
+		bytesFlag    = flag.String("bytes", "64M", "bytes streamed per writer (e.g. 64M, 1G)")
+		blockFlag    = flag.String("block", "1M", "stream block size")
+		platformFlag = flag.String("platform", "tera100", "platform model (tera100 or curie)")
+	)
+	flag.Parse()
+
+	writers, err := cliutil.ParseInts(*writersFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ratios, err := cliutil.ParseInts(*ratiosFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	perWriter, err := cliutil.ParseBytes(*bytesFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	block, err := cliutil.ParseBytes(*blockFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	platform, err := cliutil.PlatformByName(*platformFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	points, err := exp.StreamSweep(platform, writers, ratios, perWriter, block)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exp.WriteStreamTable(os.Stdout, points)
+
+	// Headline check mirroring the paper's text: best ratio-1 point vs the
+	// prorated filesystem bandwidth.
+	var best exp.StreamPoint
+	for _, pt := range points {
+		if pt.Ratio == 1 && pt.Throughput > best.Throughput {
+			best = pt
+		}
+	}
+	if best.Writers > 0 {
+		fmt.Printf("\nbest 1:1 point: %d writers + %d readers -> %.1f GB/s (prorated FS: %.1f GB/s)\n",
+			best.Writers, best.Readers, best.Throughput/1e9, best.FSShare/1e9)
+	}
+}

@@ -1,0 +1,11 @@
+// Package repro is a Go reproduction of "Event Streaming for Online
+// Performance Measurements Reduction" (Besnard, Pérache, Jalby; ICPP
+// 2013): online coupling of MPI instrumentation to a parallel blackboard
+// analysis engine through VMPI partitions, mappings and streams.
+//
+// The root package holds the figure benchmarks (bench_test.go, one per
+// figure of the paper's evaluation) and the ablation studies
+// (ablation_test.go). The implementation lives under internal/ — see
+// README.md for the architecture, DESIGN.md for the system inventory and
+// substitutions, and EXPERIMENTS.md for paper-vs-measured results.
+package repro

@@ -1,0 +1,209 @@
+// Package analysis implements the paper's analysis modules as knowledge
+// sources on the parallel blackboard: the pack unpacker, the multi-level
+// dispatcher, the MPI profiler, the topological module and the density-map
+// module (paper Figures 4, 5, 17 and 18).
+//
+// Data-flow per application level (Figure 4):
+//
+//	stream block ──("rawpack")──> Dispatcher ──("pack"@level)──> Unpacker
+//	     Unpacker ──("event"@level)──> {Profiler, Topology, Density}
+//
+// Every module keeps its accumulators behind a mutex: operations execute
+// concurrently on the blackboard's worker pool.
+package analysis
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/blackboard"
+	"repro/internal/trace"
+)
+
+// Data-type names used on the board.
+const (
+	// TypeRawPack is an encoded pack before level dispatch (level "").
+	TypeRawPack = "rawpack"
+	// TypePack is an encoded pack on its application level.
+	TypePack = "pack"
+	// TypeEvent is a single decoded event on its application level.
+	TypeEvent = "event"
+	// TypeEOS marks the end of an application's event stream.
+	TypeEOS = "eos"
+)
+
+// Pipeline wires the analysis modules for one application level onto a
+// blackboard.
+type Pipeline struct {
+	bb    *blackboard.Blackboard
+	level string
+
+	// Profiler reduces events to per-call-type statistics.
+	Profiler *ProfilerModule
+	// Topology accumulates the point-to-point communication matrix.
+	Topology *TopologyModule
+	// Density accumulates per-rank call statistics for density maps.
+	Density *DensityModule
+
+	mu       sync.Mutex
+	finished bool
+	onFinish []func()
+}
+
+// NewPipeline registers the unpacker and the three analysis modules for an
+// application of the given rank count under the given level name.
+func NewPipeline(bb *blackboard.Blackboard, level string, appSize int) (*Pipeline, error) {
+	p := &Pipeline{
+		bb:       bb,
+		level:    level,
+		Profiler: NewProfilerModule(appSize),
+		Topology: NewTopologyModule(appSize),
+		Density:  NewDensityModule(appSize),
+	}
+	packT := blackboard.TypeID(level, TypePack)
+	eventT := blackboard.TypeID(level, TypeEvent)
+	eosT := blackboard.TypeID(level, TypeEOS)
+
+	if err := bb.Register(blackboard.KS{
+		Name:          "unpacker@" + level,
+		Sensitivities: []blackboard.Type{packT},
+		Op: func(bb *blackboard.Blackboard, in []*blackboard.Entry) {
+			buf := in[0].Payload.([]byte)
+			_, err := trace.DecodeEach(buf, func(e *trace.Event) {
+				ev := *e
+				bb.Post(eventT, int64(trace.MinRecordSize), &ev)
+			})
+			if err != nil {
+				panic(fmt.Sprintf("analysis: undecodable pack on level %q: %v", level, err))
+			}
+		},
+	}); err != nil {
+		return nil, err
+	}
+
+	register := func(name string, add func(*trace.Event)) error {
+		return bb.Register(blackboard.KS{
+			Name:          name + "@" + level,
+			Sensitivities: []blackboard.Type{eventT},
+			Op: func(_ *blackboard.Blackboard, in []*blackboard.Entry) {
+				add(in[0].Payload.(*trace.Event))
+			},
+		})
+	}
+	if err := register("profiler", p.Profiler.Add); err != nil {
+		return nil, err
+	}
+	if err := register("topology", p.Topology.Add); err != nil {
+		return nil, err
+	}
+	if err := register("density", p.Density.Add); err != nil {
+		return nil, err
+	}
+
+	if err := bb.Register(blackboard.KS{
+		Name:          "eos@" + level,
+		Sensitivities: []blackboard.Type{eosT},
+		Op: func(_ *blackboard.Blackboard, _ []*blackboard.Entry) {
+			p.mu.Lock()
+			p.finished = true
+			cbs := p.onFinish
+			p.mu.Unlock()
+			for _, cb := range cbs {
+				cb()
+			}
+		},
+	}); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Level returns the pipeline's level name.
+func (p *Pipeline) Level() string { return p.level }
+
+// PostPack places an encoded pack on the pipeline's level.
+func (p *Pipeline) PostPack(buf []byte) {
+	p.bb.Post(blackboard.TypeID(p.level, TypePack), int64(len(buf)), buf)
+}
+
+// PostEOS marks the end of the application's stream.
+func (p *Pipeline) PostEOS() {
+	p.bb.Post(blackboard.TypeID(p.level, TypeEOS), 0, nil)
+}
+
+// OnFinish registers a callback invoked when the EOS entry is processed.
+func (p *Pipeline) OnFinish(cb func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.onFinish = append(p.onFinish, cb)
+}
+
+// Finished reports whether the EOS marker was processed.
+func (p *Pipeline) Finished() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.finished
+}
+
+// Dispatcher is the multi-level KS of the paper's Figure 5: it reads each
+// raw pack's application id and re-posts the pack on the matching
+// application level, so one engine concurrently profiles several programs.
+type Dispatcher struct {
+	bb *blackboard.Blackboard
+	mu sync.RWMutex
+	// byApp maps pack AppIDs to pipelines.
+	byApp map[uint32]*Pipeline
+}
+
+// NewDispatcher registers the dispatching KS on the board.
+func NewDispatcher(bb *blackboard.Blackboard) (*Dispatcher, error) {
+	d := &Dispatcher{bb: bb, byApp: make(map[uint32]*Pipeline)}
+	err := bb.Register(blackboard.KS{
+		Name:          "dispatcher",
+		Sensitivities: []blackboard.Type{blackboard.TypeID("", TypeRawPack)},
+		Op: func(_ *blackboard.Blackboard, in []*blackboard.Entry) {
+			buf := in[0].Payload.([]byte)
+			h, err := trace.PeekHeader(buf)
+			if err != nil {
+				panic(fmt.Sprintf("analysis: undecodable raw pack: %v", err))
+			}
+			d.mu.RLock()
+			p := d.byApp[h.AppID]
+			d.mu.RUnlock()
+			if p == nil {
+				panic(fmt.Sprintf("analysis: pack for unregistered app id %d", h.AppID))
+			}
+			p.PostPack(buf)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// AddApp creates (and wires) a pipeline for an application id under the
+// given level name.
+func (d *Dispatcher) AddApp(appID uint32, level string, appSize int) (*Pipeline, error) {
+	p, err := NewPipeline(d.bb, level, appSize)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.byApp[appID] = p
+	d.mu.Unlock()
+	return p, nil
+}
+
+// Pipeline returns the pipeline registered for an application id, or nil.
+func (d *Dispatcher) Pipeline(appID uint32) *Pipeline {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.byApp[appID]
+}
+
+// PostRaw places an encoded pack of unknown level on the board; the
+// dispatcher routes it.
+func (d *Dispatcher) PostRaw(buf []byte) {
+	d.bb.Post(blackboard.TypeID("", TypeRawPack), int64(len(buf)), buf)
+}

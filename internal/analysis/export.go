@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/blackboard"
+	"repro/internal/otf2lite"
+	"repro/internal/trace"
+)
+
+// ExportModule is the selective trace-export knowledge source the paper
+// sketches as future work ("a module, acting as an IO proxy, to generate
+// selective traces in the OTF2 format in order to combine our analysis
+// with existing tools such as Vampir"). Events passing the filter are
+// re-encoded into pack-framed binary chunks; WriteTo emits them as one
+// stream that DecodeEach can replay, so a post-mortem tool (or a test) can
+// consume exactly the selected slice of the run.
+type ExportModule struct {
+	mu       sync.Mutex
+	filter   func(*trace.Event) bool
+	builder  *trace.PackBuilder
+	chunks   [][]byte
+	exported int64
+	dropped  int64
+}
+
+// NewExportModule creates an export module keeping events for which filter
+// returns true (nil keeps everything).
+func NewExportModule(appID uint32, filter func(*trace.Event) bool) *ExportModule {
+	return &ExportModule{
+		filter:  filter,
+		builder: trace.NewPackBuilder(appID, -1, trace.MinRecordSize, 1<<16),
+	}
+}
+
+// Add offers one event to the exporter.
+func (m *ExportModule) Add(ev *trace.Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.filter != nil && !m.filter(ev) {
+		m.dropped++
+		return
+	}
+	m.exported++
+	if m.builder.Add(ev) {
+		m.chunks = append(m.chunks, m.builder.Take())
+	}
+}
+
+// Exported reports how many events passed the filter.
+func (m *ExportModule) Exported() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.exported
+}
+
+// Dropped reports how many events the filter rejected.
+func (m *ExportModule) Dropped() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dropped
+}
+
+// WriteTo flushes the selected trace to w as consecutive packs and returns
+// the byte count. The module can keep accumulating afterwards.
+func (m *ExportModule) WriteTo(w io.Writer) (int64, error) {
+	m.mu.Lock()
+	chunks := m.chunks
+	if last := m.builder.Take(); last != nil {
+		chunks = append(chunks, last)
+	}
+	m.chunks = nil
+	m.mu.Unlock()
+	var n int64
+	for _, c := range chunks {
+		k, err := w.Write(c)
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// ReadExported decodes a stream produced by WriteTo, invoking fn per
+// event.
+func ReadExported(buf []byte, fn func(*trace.Event)) error {
+	off := 0
+	for off < len(buf) {
+		h, err := trace.DecodeEach(buf[off:], fn)
+		if err != nil {
+			return fmt.Errorf("analysis: corrupt export at offset %d: %w", off, err)
+		}
+		off += trace.PackHeaderSize + h.Count*h.RecordSize
+	}
+	return nil
+}
+
+// WriteArchive flushes the selected trace as a structured otf2lite
+// archive (definition tables + delta-encoded events, sorted per location
+// like OTF2's streams) — the export format the paper targets for Vampir
+// interoperability. Like WriteTo, it drains the module.
+func (m *ExportModule) WriteArchive(w io.Writer) error {
+	aw := otf2lite.NewWriter()
+	m.mu.Lock()
+	chunks := m.chunks
+	if last := m.builder.Take(); last != nil {
+		chunks = append(chunks, last)
+	}
+	m.chunks = nil
+	m.mu.Unlock()
+	for _, c := range chunks {
+		if _, err := trace.DecodeEach(c, func(e *trace.Event) { aw.Add(e) }); err != nil {
+			return err
+		}
+	}
+	aw.Sort()
+	return aw.Finish(w)
+}
+
+// EnableExport registers an export KS on the pipeline's level and returns
+// its module. name distinguishes several exporters on one level.
+func (p *Pipeline) EnableExport(name string, filter func(*trace.Event) bool) (*ExportModule, error) {
+	m := NewExportModule(0, filter)
+	err := p.bb.Register(blackboard.KS{
+		Name:          "export-" + name + "@" + p.level,
+		Sensitivities: []blackboard.Type{blackboard.TypeID(p.level, TypeEvent)},
+		Op: func(_ *blackboard.Blackboard, in []*blackboard.Entry) {
+			m.Add(in[0].Payload.(*trace.Event))
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/blackboard"
+	"repro/internal/trace"
+)
+
+func TestExportModuleFilterAndRoundTrip(t *testing.T) {
+	m := NewExportModule(0, func(e *trace.Event) bool { return e.Kind == trace.KindSend })
+	for i := 0; i < 100; i++ {
+		k := trace.KindSend
+		if i%2 == 1 {
+			k = trace.KindBarrier
+		}
+		m.Add(&trace.Event{Kind: k, Rank: int32(i), Size: int64(i)})
+	}
+	if m.Exported() != 50 || m.Dropped() != 50 {
+		t.Fatalf("exported=%d dropped=%d", m.Exported(), m.Dropped())
+	}
+	var buf bytes.Buffer
+	n, err := m.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) || n == 0 {
+		t.Fatalf("n=%d len=%d", n, buf.Len())
+	}
+	var got []trace.Event
+	if err := ReadExported(buf.Bytes(), func(e *trace.Event) { got = append(got, *e) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50 {
+		t.Fatalf("replayed %d events", len(got))
+	}
+	for _, e := range got {
+		if e.Kind != trace.KindSend || e.Rank%2 != 0 {
+			t.Fatalf("unexpected event in export: %+v", e)
+		}
+	}
+	// After WriteTo the module keeps working.
+	m.Add(&trace.Event{Kind: trace.KindSend})
+	var buf2 bytes.Buffer
+	if _, err := m.WriteTo(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	var more int
+	if err := ReadExported(buf2.Bytes(), func(*trace.Event) { more++ }); err != nil {
+		t.Fatal(err)
+	}
+	if more != 1 {
+		t.Fatalf("second export = %d events", more)
+	}
+}
+
+func TestExportSpansMultipleChunks(t *testing.T) {
+	m := NewExportModule(7, nil)
+	const n = 5000 // > one 64 KB chunk of 48-byte records
+	for i := 0; i < n; i++ {
+		m.Add(&trace.Event{Kind: trace.KindRecv, Rank: int32(i)})
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	if err := ReadExported(buf.Bytes(), func(*trace.Event) { count++ }); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("replayed %d of %d", count, n)
+	}
+}
+
+func TestReadExportedRejectsGarbage(t *testing.T) {
+	if err := ReadExported([]byte{1, 2, 3, 4, 5}, func(*trace.Event) {}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestPipelineEnableExport(t *testing.T) {
+	bb := blackboard.New(blackboard.Config{Workers: 2})
+	defer bb.Close()
+	p, err := NewPipeline(bb, "app", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := p.EnableExport("sends", func(e *trace.Event) bool { return e.Kind.IsOutgoingP2P() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.PostPack(buildPack(0, 0,
+		sendEvent(0, 1, 10, 0, 1),
+		trace.Event{Kind: trace.KindBarrier, Rank: 0},
+		sendEvent(0, 2, 20, 1, 2),
+	))
+	bb.Drain()
+	if exp.Exported() != 2 || exp.Dropped() != 1 {
+		t.Fatalf("exported=%d dropped=%d", exp.Exported(), exp.Dropped())
+	}
+	// The profiler still saw everything (exporter is additive).
+	if p.Profiler.Events() != 3 {
+		t.Fatalf("profiler events = %d", p.Profiler.Events())
+	}
+}

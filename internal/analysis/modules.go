@@ -1,0 +1,389 @@
+package analysis
+
+import (
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// Stat is a hits/bytes/time accumulator.
+type Stat struct {
+	// Hits counts events.
+	Hits int64
+	// Bytes sums payload sizes.
+	Bytes int64
+	// TimeNs sums call durations.
+	TimeNs int64
+}
+
+func (s *Stat) add(ev *trace.Event) {
+	s.Hits++
+	s.Bytes += ev.Size
+	s.TimeNs += ev.Duration()
+}
+
+// merge folds other into s.
+func (s *Stat) merge(o Stat) {
+	s.Hits += o.Hits
+	s.Bytes += o.Bytes
+	s.TimeNs += o.TimeNs
+}
+
+// --- Profiler module ---
+
+// ProfilerModule reduces an application's events to per-call-type
+// statistics, application-wide and per rank (the "MPI profiler" KS of
+// Figure 4).
+type ProfilerModule struct {
+	mu     sync.Mutex
+	size   int
+	total  map[trace.Kind]*Stat
+	events int64
+}
+
+// NewProfilerModule creates a profiler for an application of the given
+// rank count.
+func NewProfilerModule(size int) *ProfilerModule {
+	return &ProfilerModule{size: size, total: make(map[trace.Kind]*Stat)}
+}
+
+// Add folds one event in.
+func (m *ProfilerModule) Add(ev *trace.Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.events++
+	st := m.total[ev.Kind]
+	if st == nil {
+		st = &Stat{}
+		m.total[ev.Kind] = st
+	}
+	st.add(ev)
+}
+
+// Events returns the number of events profiled.
+func (m *ProfilerModule) Events() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.events
+}
+
+// Stat returns the application-wide statistics for one call kind (zero
+// value if the kind never occurred).
+func (m *ProfilerModule) Stat(k trace.Kind) Stat {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if st := m.total[k]; st != nil {
+		return *st
+	}
+	return Stat{}
+}
+
+// Kinds returns the call kinds observed, unordered.
+func (m *ProfilerModule) Kinds() []trace.Kind {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]trace.Kind, 0, len(m.total))
+	for k := range m.total {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Merge folds another profiler (e.g. from a different analyzer rank) into
+// this one.
+func (m *ProfilerModule) Merge(o *ProfilerModule) {
+	o.mu.Lock()
+	snapshot := make(map[trace.Kind]Stat, len(o.total))
+	for k, st := range o.total {
+		snapshot[k] = *st
+	}
+	ev := o.events
+	o.mu.Unlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.events += ev
+	for k, st := range snapshot {
+		dst := m.total[k]
+		if dst == nil {
+			dst = &Stat{}
+			m.total[k] = dst
+		}
+		dst.merge(st)
+	}
+}
+
+// --- Topology module ---
+
+// Matrix is a dense rank×rank communication matrix weighted in hits, bytes
+// and time (the three weightings of the paper's topological module).
+type Matrix struct {
+	// N is the application's rank count.
+	N int
+	// Hits, Bytes and TimeNs are row-major [src*N+dst] accumulators.
+	Hits   []int64
+	Bytes  []int64
+	TimeNs []int64
+}
+
+// NewMatrix creates an N×N matrix.
+func NewMatrix(n int) *Matrix {
+	return &Matrix{N: n, Hits: make([]int64, n*n), Bytes: make([]int64, n*n), TimeNs: make([]int64, n*n)}
+}
+
+// At returns (hits, bytes, timeNs) for the src→dst cell.
+func (m *Matrix) At(src, dst int) (int64, int64, int64) {
+	i := src*m.N + dst
+	return m.Hits[i], m.Bytes[i], m.TimeNs[i]
+}
+
+// Degree returns the number of distinct peers src communicates with.
+func (m *Matrix) Degree(src int) int {
+	d := 0
+	for dst := 0; dst < m.N; dst++ {
+		if m.Hits[src*m.N+dst] > 0 {
+			d++
+		}
+	}
+	return d
+}
+
+// TotalBytes sums the matrix's byte weights.
+func (m *Matrix) TotalBytes() int64 {
+	var t int64
+	for _, b := range m.Bytes {
+		t += b
+	}
+	return t
+}
+
+// Edges calls fn for every non-empty src→dst cell.
+func (m *Matrix) Edges(fn func(src, dst int, hits, bytes, timeNs int64)) {
+	for s := 0; s < m.N; s++ {
+		for d := 0; d < m.N; d++ {
+			i := s*m.N + d
+			if m.Hits[i] > 0 {
+				fn(s, d, m.Hits[i], m.Bytes[i], m.TimeNs[i])
+			}
+		}
+	}
+}
+
+// TopologyModule accumulates the point-to-point communication matrix from
+// outgoing p2p events.
+type TopologyModule struct {
+	mu  sync.Mutex
+	mat *Matrix
+}
+
+// NewTopologyModule creates a topology module for an application of the
+// given rank count.
+func NewTopologyModule(size int) *TopologyModule {
+	return &TopologyModule{mat: NewMatrix(size)}
+}
+
+// Add folds one event in; only outgoing point-to-point events with a valid
+// peer count (each transfer is counted once, at its sender).
+func (m *TopologyModule) Add(ev *trace.Event) {
+	if !ev.Kind.IsOutgoingP2P() {
+		return
+	}
+	src, dst := int(ev.Rank), int(ev.Peer)
+	if src < 0 || dst < 0 || src >= m.mat.N || dst >= m.mat.N {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	i := src*m.mat.N + dst
+	m.mat.Hits[i]++
+	m.mat.Bytes[i] += ev.Size
+	m.mat.TimeNs[i] += ev.Duration()
+}
+
+// Matrix returns a snapshot copy of the accumulated matrix.
+func (m *TopologyModule) Matrix() *Matrix {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := NewMatrix(m.mat.N)
+	copy(out.Hits, m.mat.Hits)
+	copy(out.Bytes, m.mat.Bytes)
+	copy(out.TimeNs, m.mat.TimeNs)
+	return out
+}
+
+// Merge folds another topology module into this one.
+func (m *TopologyModule) Merge(o *TopologyModule) {
+	snap := o.Matrix()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range snap.Hits {
+		m.mat.Hits[i] += snap.Hits[i]
+		m.mat.Bytes[i] += snap.Bytes[i]
+		m.mat.TimeNs[i] += snap.TimeNs[i]
+	}
+}
+
+// --- Density module ---
+
+// Metric selects the weighting of a density map.
+type Metric int
+
+// Density-map metrics (the paper renders hits, total size and time for
+// every MPI and POSIX call).
+const (
+	MetricHits Metric = iota
+	MetricBytes
+	MetricTime
+)
+
+// String returns the metric's report label.
+func (w Metric) String() string {
+	switch w {
+	case MetricHits:
+		return "hits"
+	case MetricBytes:
+		return "total size"
+	case MetricTime:
+		return "time"
+	default:
+		return "unknown"
+	}
+}
+
+// DensityModule accumulates per-rank, per-call-kind statistics: the source
+// data for the paper's density maps (Figure 18).
+type DensityModule struct {
+	mu   sync.Mutex
+	size int
+	// perKind maps kind → per-rank stats.
+	perKind map[trace.Kind][]Stat
+}
+
+// NewDensityModule creates a density module for an application of the
+// given rank count.
+func NewDensityModule(size int) *DensityModule {
+	return &DensityModule{size: size, perKind: make(map[trace.Kind][]Stat)}
+}
+
+// Add folds one event in.
+func (m *DensityModule) Add(ev *trace.Event) {
+	r := int(ev.Rank)
+	if r < 0 || r >= m.size {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	per := m.perKind[ev.Kind]
+	if per == nil {
+		per = make([]Stat, m.size)
+		m.perKind[ev.Kind] = per
+	}
+	per[r].add(ev)
+}
+
+// Size returns the application's rank count.
+func (m *DensityModule) Size() int { return m.size }
+
+// Kinds returns the call kinds observed, unordered.
+func (m *DensityModule) Kinds() []trace.Kind {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]trace.Kind, 0, len(m.perKind))
+	for k := range m.perKind {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Map returns the per-rank values of one kind under one metric (length =
+// application size; all zeros if the kind never occurred).
+func (m *DensityModule) Map(k trace.Kind, metric Metric) []float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]float64, m.size)
+	per := m.perKind[k]
+	if per == nil {
+		return out
+	}
+	for r := range per {
+		switch metric {
+		case MetricHits:
+			out[r] = float64(per[r].Hits)
+		case MetricBytes:
+			out[r] = float64(per[r].Bytes)
+		case MetricTime:
+			out[r] = float64(per[r].TimeNs)
+		}
+	}
+	return out
+}
+
+// CollectiveTimeMap sums the time metric over every collective kind — the
+// paper's "time spent in collectives" map (Figure 18c).
+func (m *DensityModule) CollectiveTimeMap() []float64 {
+	out := make([]float64, m.size)
+	for _, k := range m.Kinds() {
+		if !k.IsCollective() {
+			continue
+		}
+		for r, v := range m.Map(k, MetricTime) {
+			out[r] += v
+		}
+	}
+	return out
+}
+
+// WaitTimeMap sums the time metric over MPI_Wait/MPI_Waitall — the paper's
+// wait-time map (Figure 18d).
+func (m *DensityModule) WaitTimeMap() []float64 {
+	out := make([]float64, m.size)
+	for _, k := range m.Kinds() {
+		if !k.IsWait() {
+			continue
+		}
+		for r, v := range m.Map(k, MetricTime) {
+			out[r] += v
+		}
+	}
+	return out
+}
+
+// P2PSizeMap sums outgoing point-to-point bytes per rank — the paper's
+// total point-to-point size map (Figure 18e).
+func (m *DensityModule) P2PSizeMap() []float64 {
+	out := make([]float64, m.size)
+	for _, k := range m.Kinds() {
+		if !k.IsOutgoingP2P() {
+			continue
+		}
+		for r, v := range m.Map(k, MetricBytes) {
+			out[r] += v
+		}
+	}
+	return out
+}
+
+// Merge folds another density module into this one.
+func (m *DensityModule) Merge(o *DensityModule) {
+	o.mu.Lock()
+	snap := make(map[trace.Kind][]Stat, len(o.perKind))
+	for k, per := range o.perKind {
+		cp := make([]Stat, len(per))
+		copy(cp, per)
+		snap[k] = cp
+	}
+	o.mu.Unlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k, per := range snap {
+		dst := m.perKind[k]
+		if dst == nil {
+			dst = make([]Stat, m.size)
+			m.perKind[k] = dst
+		}
+		for r := range per {
+			if r < len(dst) {
+				dst[r].merge(per[r])
+			}
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"sync"
+
+	"repro/internal/blackboard"
+	"repro/internal/trace"
+)
+
+// TemporalModule builds the temporal maps of the paper's report (§IV-D
+// lists "topologies, profiles, temporal and spatial maps for MPI and POSIX
+// calls"): per-call-kind activity over time, bucketed into fixed windows
+// of virtual time. Combined with the spatial density maps it answers
+// *when* a behaviour happens, not just *where*.
+//
+// Buckets grow on demand as later events arrive; an event whose interval
+// spans several buckets contributes its duration pro-rata to each (so
+// long waits appear as sustained activity, not as a spike at their start).
+type TemporalModule struct {
+	mu sync.Mutex
+	// window is the bucket width in virtual nanoseconds.
+	window int64
+	// perKind maps kind → per-bucket stats.
+	perKind map[trace.Kind][]Stat
+	buckets int
+}
+
+// NewTemporalModule creates a temporal module with the given bucket width
+// in nanoseconds (e.g. 100 ms of virtual time).
+func NewTemporalModule(windowNs int64) *TemporalModule {
+	if windowNs <= 0 {
+		windowNs = 1e8
+	}
+	return &TemporalModule{window: windowNs, perKind: make(map[trace.Kind][]Stat)}
+}
+
+// Window returns the bucket width in nanoseconds.
+func (m *TemporalModule) Window() int64 { return m.window }
+
+// Add folds one event in.
+func (m *TemporalModule) Add(ev *trace.Event) {
+	start, end := ev.TStart, ev.TEnd
+	if end < start {
+		return
+	}
+	firstB := int(start / m.window)
+	lastB := int(end / m.window)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if lastB+1 > m.buckets {
+		m.buckets = lastB + 1
+	}
+	per := m.perKind[ev.Kind]
+	if len(per) <= lastB {
+		grown := make([]Stat, m.buckets)
+		copy(grown, per)
+		per = grown
+		m.perKind[ev.Kind] = per
+	}
+	// Hits and bytes land in the start bucket; time is spread pro-rata.
+	per[firstB].Hits++
+	per[firstB].Bytes += ev.Size
+	dur := end - start
+	if dur == 0 || firstB == lastB {
+		per[firstB].TimeNs += dur
+		return
+	}
+	for b := firstB; b <= lastB; b++ {
+		bStart := int64(b) * m.window
+		bEnd := bStart + m.window
+		lo, hi := max64(start, bStart), min64(end, bEnd)
+		if hi > lo {
+			per[b].TimeNs += hi - lo
+		}
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Buckets returns the number of time buckets observed so far.
+func (m *TemporalModule) Buckets() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.buckets
+}
+
+// Kinds returns the call kinds observed, unordered.
+func (m *TemporalModule) Kinds() []trace.Kind {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]trace.Kind, 0, len(m.perKind))
+	for k := range m.perKind {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Series returns the per-bucket values of one kind under one metric,
+// padded to the module's full bucket count.
+func (m *TemporalModule) Series(k trace.Kind, metric Metric) []float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]float64, m.buckets)
+	for b, st := range m.perKind[k] {
+		switch metric {
+		case MetricHits:
+			out[b] = float64(st.Hits)
+		case MetricBytes:
+			out[b] = float64(st.Bytes)
+		case MetricTime:
+			out[b] = float64(st.TimeNs)
+		}
+	}
+	return out
+}
+
+// CommunicationTimeSeries sums time spent in any MPI communication
+// (point-to-point, waits, collectives) per bucket — the report's headline
+// temporal map.
+func (m *TemporalModule) CommunicationTimeSeries() []float64 {
+	out := make([]float64, m.Buckets())
+	for _, k := range m.Kinds() {
+		if !(k.IsP2P() || k.IsWait() || k.IsCollective()) {
+			continue
+		}
+		for b, v := range m.Series(k, MetricTime) {
+			out[b] += v
+		}
+	}
+	return out
+}
+
+// Merge folds another temporal module (same window) into this one.
+func (m *TemporalModule) Merge(o *TemporalModule) {
+	o.mu.Lock()
+	snap := make(map[trace.Kind][]Stat, len(o.perKind))
+	for k, per := range o.perKind {
+		cp := make([]Stat, len(per))
+		copy(cp, per)
+		snap[k] = cp
+	}
+	ob := o.buckets
+	o.mu.Unlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ob > m.buckets {
+		m.buckets = ob
+	}
+	for k, per := range snap {
+		dst := m.perKind[k]
+		if len(dst) < len(per) {
+			grown := make([]Stat, len(per))
+			copy(grown, dst)
+			dst = grown
+		}
+		for b := range per {
+			dst[b].merge(per[b])
+		}
+		m.perKind[k] = dst
+	}
+}
+
+// EnableTemporal registers a temporal-map KS on the pipeline's level and
+// returns its module.
+func (p *Pipeline) EnableTemporal(windowNs int64) (*TemporalModule, error) {
+	m := NewTemporalModule(windowNs)
+	err := p.bb.Register(blackboard.KS{
+		Name:          "temporal@" + p.level,
+		Sensitivities: []blackboard.Type{blackboard.TypeID(p.level, TypeEvent)},
+		Op: func(_ *blackboard.Blackboard, in []*blackboard.Entry) {
+			m.Add(in[0].Payload.(*trace.Event))
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}

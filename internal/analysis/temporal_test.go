@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/blackboard"
+	"repro/internal/trace"
+)
+
+func TestTemporalBucketsByStartTime(t *testing.T) {
+	m := NewTemporalModule(100)
+	evs := []trace.Event{
+		{Kind: trace.KindSend, Size: 10, TStart: 5, TEnd: 15},    // bucket 0
+		{Kind: trace.KindSend, Size: 20, TStart: 150, TEnd: 160}, // bucket 1
+		{Kind: trace.KindSend, Size: 30, TStart: 950, TEnd: 980}, // bucket 9
+	}
+	for i := range evs {
+		m.Add(&evs[i])
+	}
+	if m.Buckets() != 10 {
+		t.Fatalf("buckets = %d", m.Buckets())
+	}
+	hits := m.Series(trace.KindSend, MetricHits)
+	if hits[0] != 1 || hits[1] != 1 || hits[9] != 1 || hits[5] != 0 {
+		t.Fatalf("hits = %v", hits)
+	}
+	bytes := m.Series(trace.KindSend, MetricBytes)
+	if bytes[0] != 10 || bytes[1] != 20 || bytes[9] != 30 {
+		t.Fatalf("bytes = %v", bytes)
+	}
+}
+
+func TestTemporalProRataSpread(t *testing.T) {
+	m := NewTemporalModule(100)
+	// A 250 ns wait spanning buckets 0..2: 50 + 100 + 100.
+	ev := trace.Event{Kind: trace.KindWait, TStart: 50, TEnd: 300}
+	m.Add(&ev)
+	times := m.Series(trace.KindWait, MetricTime)
+	want := []float64{50, 100, 100}
+	for b, w := range want {
+		if times[b] != w {
+			t.Fatalf("bucket %d = %v, want %v (all: %v)", b, times[b], w, times)
+		}
+	}
+}
+
+func TestTemporalCommunicationSeries(t *testing.T) {
+	m := NewTemporalModule(100)
+	evs := []trace.Event{
+		{Kind: trace.KindSend, TStart: 0, TEnd: 10},
+		{Kind: trace.KindBarrier, TStart: 10, TEnd: 60},
+		{Kind: trace.KindInit, TStart: 0, TEnd: 90}, // not communication
+	}
+	for i := range evs {
+		m.Add(&evs[i])
+	}
+	comm := m.CommunicationTimeSeries()
+	if comm[0] != 60 {
+		t.Fatalf("comm series = %v", comm)
+	}
+}
+
+func TestTemporalMerge(t *testing.T) {
+	a, b := NewTemporalModule(100), NewTemporalModule(100)
+	ev1 := trace.Event{Kind: trace.KindSend, Size: 5, TStart: 0, TEnd: 10}
+	ev2 := trace.Event{Kind: trace.KindSend, Size: 7, TStart: 250, TEnd: 260}
+	a.Add(&ev1)
+	b.Add(&ev2)
+	a.Merge(b)
+	if a.Buckets() != 3 {
+		t.Fatalf("buckets = %d", a.Buckets())
+	}
+	bytes := a.Series(trace.KindSend, MetricBytes)
+	if bytes[0] != 5 || bytes[2] != 7 {
+		t.Fatalf("merged bytes = %v", bytes)
+	}
+}
+
+func TestTemporalDefaultWindow(t *testing.T) {
+	m := NewTemporalModule(0)
+	if m.Window() != 1e8 {
+		t.Fatalf("window = %d", m.Window())
+	}
+}
+
+func TestPipelineEnableTemporal(t *testing.T) {
+	bb := blackboard.New(blackboard.Config{Workers: 2})
+	defer bb.Close()
+	p, err := NewPipeline(bb, "app", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := p.EnableTemporal(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.PostPack(buildPack(0, 0,
+		sendEvent(0, 1, 64, 100, 200),
+		sendEvent(0, 1, 64, 2500, 2600),
+	))
+	bb.Drain()
+	if tm.Buckets() != 3 {
+		t.Fatalf("buckets = %d", tm.Buckets())
+	}
+	if hits := tm.Series(trace.KindSend, MetricHits); hits[0] != 1 || hits[2] != 1 {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+// Property: pro-rata time spreading conserves total duration.
+func TestTemporalTimeConservationProperty(t *testing.T) {
+	f := func(start uint16, dur uint16, window uint8) bool {
+		w := int64(window%200) + 10
+		m := NewTemporalModule(w)
+		ev := trace.Event{Kind: trace.KindWait, TStart: int64(start), TEnd: int64(start) + int64(dur)}
+		m.Add(&ev)
+		var total float64
+		for _, v := range m.Series(trace.KindWait, MetricTime) {
+			total += v
+		}
+		return math.Abs(total-float64(dur)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"sync"
+
+	"repro/internal/blackboard"
+	"repro/internal/trace"
+)
+
+// WaitStateModule implements the wait-state analysis the paper announces
+// as work in progress (§IV-D): a Scalasca-style classification of
+// point-to-point waiting time, made possible precisely because the
+// blackboard holds events from *all* ranks of an application — a
+// same-process view no purely local reduction can build.
+//
+// The module pairs send-side events (MPI_Send / MPI_Isend) with the
+// matching receive-side events (MPI_Recv, and MPI_Wait completions that
+// carry their source) in FIFO order per (sender, receiver, tag,
+// communicator) channel, the MPI non-overtaking rule. A receive that
+// started before its matching send is a Late Sender: the receiver's time
+// between its own start and the send's start is pure wait, attributed to
+// the receiving rank.
+//
+// Send-side blocking (Late Receiver) does not occur under the eager
+// protocol this runtime models, so only the receive side is classified.
+type WaitStateModule struct {
+	mu   sync.Mutex
+	size int
+
+	// pending events per channel, FIFO (events from different ranks
+	// arrive in arbitrary order, so both sides queue).
+	sends map[chanKey][]int64 // send start times
+	recvs map[chanKey][]recvEvt
+
+	// lateNs / lateHits accumulate late-sender wait per receiving rank.
+	lateNs   []int64
+	lateHits []int64
+	pairs    int64
+}
+
+type chanKey struct {
+	src, dst int32
+	tag      int32
+	comm     uint32
+}
+
+type recvEvt struct {
+	rank   int32
+	tStart int64
+	tEnd   int64
+}
+
+// NewWaitStateModule creates a wait-state module for an application of the
+// given rank count.
+func NewWaitStateModule(size int) *WaitStateModule {
+	return &WaitStateModule{
+		size:     size,
+		sends:    make(map[chanKey][]int64),
+		recvs:    make(map[chanKey][]recvEvt),
+		lateNs:   make([]int64, size),
+		lateHits: make([]int64, size),
+	}
+}
+
+// Add folds one event in.
+func (m *WaitStateModule) Add(ev *trace.Event) {
+	switch ev.Kind {
+	case trace.KindSend, trace.KindIsend:
+		if ev.Peer < 0 {
+			return
+		}
+		key := chanKey{src: ev.Rank, dst: ev.Peer, tag: ev.Tag, comm: ev.Comm}
+		m.mu.Lock()
+		if q := m.recvs[key]; len(q) > 0 {
+			m.pair(q[0], ev.TStart)
+			m.recvs[key] = q[1:]
+		} else {
+			m.sends[key] = append(m.sends[key], ev.TStart)
+		}
+		m.mu.Unlock()
+	case trace.KindRecv, trace.KindWait:
+		if ev.Peer < 0 {
+			return // wildcard completion without source: unmatchable
+		}
+		key := chanKey{src: ev.Peer, dst: ev.Rank, tag: ev.Tag, comm: ev.Comm}
+		if ev.Kind == trace.KindWait {
+			// Wait events carry the matched source but not the original
+			// tag; fold them onto the wildcard-tag channel only if a tag
+			// was recorded.
+			if ev.Tag < 0 {
+				return
+			}
+		}
+		rv := recvEvt{rank: ev.Rank, tStart: ev.TStart, tEnd: ev.TEnd}
+		m.mu.Lock()
+		if q := m.sends[key]; len(q) > 0 {
+			m.pair(rv, q[0])
+			m.sends[key] = q[1:]
+		} else {
+			m.recvs[key] = append(m.recvs[key], rv)
+		}
+		m.mu.Unlock()
+	}
+}
+
+// pair classifies one matched (recv, sendStart) pair. Called with m.mu
+// held.
+func (m *WaitStateModule) pair(rv recvEvt, sendStart int64) {
+	m.pairs++
+	if sendStart <= rv.tStart {
+		return // sender was ready: no late-sender wait
+	}
+	wait := sendStart - rv.tStart
+	if rv.tEnd-rv.tStart < wait {
+		wait = rv.tEnd - rv.tStart
+	}
+	if wait <= 0 {
+		return
+	}
+	if int(rv.rank) < m.size {
+		m.lateNs[rv.rank] += wait
+		m.lateHits[rv.rank]++
+	}
+}
+
+// Pairs reports how many send/recv pairs were matched.
+func (m *WaitStateModule) Pairs() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pairs
+}
+
+// Unmatched reports how many events are still waiting for their partner
+// (non-zero after a run usually means sampled transports or wildcard
+// completions).
+func (m *WaitStateModule) Unmatched() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	for _, q := range m.sends {
+		n += int64(len(q))
+	}
+	for _, q := range m.recvs {
+		n += int64(len(q))
+	}
+	return n
+}
+
+// LateSenderMap returns per-rank late-sender wait time in nanoseconds — a
+// density map like the paper's Figure 18d, but attributing the wait to its
+// cause.
+func (m *WaitStateModule) LateSenderMap() []float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]float64, m.size)
+	for r, v := range m.lateNs {
+		out[r] = float64(v)
+	}
+	return out
+}
+
+// LateSenderHits returns per-rank late-sender occurrence counts.
+func (m *WaitStateModule) LateSenderHits() []int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]int64, m.size)
+	copy(out, m.lateHits)
+	return out
+}
+
+// TotalLateNs sums late-sender wait across ranks.
+func (m *WaitStateModule) TotalLateNs() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var t int64
+	for _, v := range m.lateNs {
+		t += v
+	}
+	return t
+}
+
+// Merge folds another wait-state module's per-rank accumulators into this
+// one (pending unmatched events are not transferred).
+func (m *WaitStateModule) Merge(o *WaitStateModule) {
+	o.mu.Lock()
+	ln := append([]int64(nil), o.lateNs...)
+	lh := append([]int64(nil), o.lateHits...)
+	pr := o.pairs
+	o.mu.Unlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pairs += pr
+	for r := range ln {
+		if r < m.size {
+			m.lateNs[r] += ln[r]
+			m.lateHits[r] += lh[r]
+		}
+	}
+}
+
+// EnableWaitState registers a wait-state KS on the pipeline's level and
+// returns its module. The analysis is optional because it keeps per-channel
+// state proportional to in-flight messages.
+func (p *Pipeline) EnableWaitState() (*WaitStateModule, error) {
+	m := NewWaitStateModule(p.Profiler.size)
+	err := p.bb.Register(blackboard.KS{
+		Name:          "waitstate@" + p.level,
+		Sensitivities: []blackboard.Type{blackboard.TypeID(p.level, TypeEvent)},
+		Op: func(_ *blackboard.Blackboard, in []*blackboard.Entry) {
+			m.Add(in[0].Payload.(*trace.Event))
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}

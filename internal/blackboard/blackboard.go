@@ -1,0 +1,494 @@
+// Package blackboard implements the paper's parallel blackboard: a
+// data-centric task engine where typed data entries trigger knowledge
+// sources (KS), giving analyses natural data-flow parallelism.
+//
+// Model (paper §III-B):
+//
+//   - A data entry is a tuple {Type, Size, Payload}.
+//   - A knowledge source is {sensitivities, operation}: a set of entry
+//     types that, once all satisfied, trigger the operation over the
+//     matched entries. A KS may list the same type several times (the job
+//     then consumes that many entries of the type).
+//   - When an entry is posted, matching sensitivities are looked up in a
+//     hash table; the entry is queued on the KS's least-filled matching
+//     slot; when it fills the last unsatisfied slot a job
+//     {entries, operation} is created.
+//   - Jobs are pushed to a random FIFO from an array of individually
+//     locked FIFOs to reduce contention; a pool of workers sweeps the
+//     FIFOs from random starting points, with a back-off mechanism instead
+//     of spinning when the board is empty.
+//   - Entries are reference counted and read-mostly: an entry is writable
+//     only while its refcount is 1. Posted payloads are released
+//     automatically once every processing that references them completes,
+//     which is how the blackboard doubles as the temporary storage that
+//     frees the stream's communication buffers.
+//   - Multi-level blackboards (one level per instrumented application) are
+//     encoded in the type identifier: TypeID hashes level and type name
+//     together, so identical KSs and data types coexist per level
+//     (paper Figure 5).
+//
+// KSs may register or remove KSs — including themselves — at runtime,
+// which is the paper's simplified form of opportunistic reasoning.
+package blackboard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// Type identifies a kind of data entry on the board. Use TypeID to derive
+// one from a level and a type name.
+type Type uint64
+
+// TypeID hashes a blackboard level and a data-type name into a Type. The
+// same type name on different levels yields different identifiers, which is
+// how one engine hosts one logical blackboard per instrumented application.
+func TypeID(level, name string) Type {
+	h := fnv.New64a()
+	h.Write([]byte(level))
+	h.Write([]byte{0})
+	h.Write([]byte(name))
+	return Type(h.Sum64())
+}
+
+// Entry is a reference-counted data entry.
+type Entry struct {
+	// Type is the entry's type identifier.
+	Type Type
+	// Size is the nominal payload size in bytes (bookkeeping; the engine
+	// never inspects payloads).
+	Size int64
+	// Payload is an arbitrary blob: raw bytes from a stream, a decoded
+	// event, a partial analysis product...
+	Payload any
+
+	refs atomic.Int32
+}
+
+// NewEntry creates an entry with a reference count of 1 (owned by the
+// caller).
+func NewEntry(t Type, size int64, payload any) *Entry {
+	e := &Entry{Type: t, Size: size, Payload: payload}
+	e.refs.Store(1)
+	return e
+}
+
+// Retain adds a reference.
+func (e *Entry) Retain() { e.refs.Add(1) }
+
+// Release drops a reference. It reports whether this was the last
+// reference (the entry's storage is then reclaimable).
+func (e *Entry) Release() bool {
+	n := e.refs.Add(-1)
+	if n < 0 {
+		panic("blackboard: Release of an already-freed entry")
+	}
+	return n == 0
+}
+
+// Writable reports whether the caller holds the only reference, the
+// paper's condition for in-place mutation.
+func (e *Entry) Writable() bool { return e.refs.Load() == 1 }
+
+// Refs returns the current reference count (for tests and diagnostics).
+func (e *Entry) Refs() int32 { return e.refs.Load() }
+
+// Operation is a knowledge source's code: it receives the matched entries
+// (one per sensitivity slot, in slot order) and may post new entries or
+// (un)register KSs through the board handle.
+type Operation func(bb *Blackboard, inputs []*Entry)
+
+// KS describes a knowledge source.
+type KS struct {
+	// Name identifies the KS for Unregister and diagnostics.
+	Name string
+	// Sensitivities are the entry types that trigger Op; duplicates mean
+	// the job consumes several entries of that type.
+	Sensitivities []Type
+	// Op runs once per satisfied sensitivity set.
+	Op Operation
+}
+
+// ksState is a registered KS plus its pending-entry slots.
+type ksState struct {
+	ks   KS
+	mu   sync.Mutex
+	pend [][]*Entry // one FIFO per sensitivity slot
+	jobs atomic.Int64
+}
+
+// job is one triggered operation.
+type job struct {
+	st     *ksState
+	inputs []*Entry
+}
+
+// Config parameterizes the engine.
+type Config struct {
+	// Workers is the worker pool size (default: 4).
+	Workers int
+	// Queues is the number of job FIFOs (default: 2×Workers).
+	Queues int
+	// Seed seeds the queue-selection randomness.
+	Seed int64
+}
+
+// Stats is a snapshot of engine counters.
+type Stats struct {
+	// Posted counts entries posted to the board.
+	Posted int64
+	// Jobs counts operations executed.
+	Jobs int64
+	// Backoffs counts worker sleeps due to an empty board.
+	Backoffs int64
+	// OpPanics counts knowledge-source operations that panicked and were
+	// isolated.
+	OpPanics int64
+}
+
+// Blackboard is the parallel engine. Create with New, stop with Close.
+type Blackboard struct {
+	mu     sync.RWMutex
+	bySens map[Type][]*ksState
+	byName map[string]*ksState
+
+	queues []jobFIFO
+
+	queued   atomic.Int64 // jobs sitting in FIFOs
+	inflight atomic.Int64 // queued + executing jobs
+	idleMu   sync.Mutex
+	idleCond *sync.Cond
+	drainMu  sync.Mutex
+	drain    *sync.Cond
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+
+	posted   atomic.Int64
+	jobsDone atomic.Int64
+	backoffs atomic.Int64
+	panics   atomic.Int64
+
+	seed atomic.Int64
+}
+
+type jobFIFO struct {
+	mu   sync.Mutex
+	jobs []job
+	head int      // index of the next job to pop; amortized compaction
+	_    [40]byte // pad to keep adjacent locks off one cache line
+}
+
+// pop removes the FIFO's oldest job in O(1) amortized (the consumed prefix
+// is compacted away once it exceeds half the slice).
+func (q *jobFIFO) pop() (job, bool) {
+	if q.head >= len(q.jobs) {
+		return job{}, false
+	}
+	j := q.jobs[q.head]
+	q.jobs[q.head] = job{}
+	q.head++
+	if q.head > len(q.jobs)/2 && q.head > 32 {
+		n := copy(q.jobs, q.jobs[q.head:])
+		q.jobs = q.jobs[:n]
+		q.head = 0
+	}
+	return j, true
+}
+
+// New creates and starts a blackboard engine.
+func New(cfg Config) *Blackboard {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Queues <= 0 {
+		cfg.Queues = 2 * cfg.Workers
+	}
+	bb := &Blackboard{
+		bySens: make(map[Type][]*ksState),
+		byName: make(map[string]*ksState),
+		queues: make([]jobFIFO, cfg.Queues),
+	}
+	bb.idleCond = sync.NewCond(&bb.idleMu)
+	bb.drain = sync.NewCond(&bb.drainMu)
+	bb.seed.Store(cfg.Seed)
+	bb.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go bb.worker(i)
+	}
+	return bb
+}
+
+// Register adds a knowledge source. It may be called concurrently,
+// including from inside an Operation.
+func (bb *Blackboard) Register(ks KS) error {
+	if ks.Name == "" {
+		return fmt.Errorf("blackboard: KS needs a name")
+	}
+	if len(ks.Sensitivities) == 0 {
+		return fmt.Errorf("blackboard: KS %q has no sensitivities", ks.Name)
+	}
+	if ks.Op == nil {
+		return fmt.Errorf("blackboard: KS %q has no operation", ks.Name)
+	}
+	st := &ksState{ks: ks, pend: make([][]*Entry, len(ks.Sensitivities))}
+	bb.mu.Lock()
+	defer bb.mu.Unlock()
+	if _, dup := bb.byName[ks.Name]; dup {
+		return fmt.Errorf("blackboard: KS %q already registered", ks.Name)
+	}
+	bb.byName[ks.Name] = st
+	seen := map[Type]bool{}
+	for _, t := range ks.Sensitivities {
+		if !seen[t] {
+			bb.bySens[t] = append(bb.bySens[t], st)
+			seen[t] = true
+		}
+	}
+	return nil
+}
+
+// Unregister removes a knowledge source by name; pending partial
+// sensitivity sets are released. Removing an unknown name is a no-op so a
+// KS can safely remove itself from inside its own operation.
+func (bb *Blackboard) Unregister(name string) {
+	bb.mu.Lock()
+	st, ok := bb.byName[name]
+	if ok {
+		delete(bb.byName, name)
+		for t, list := range bb.bySens {
+			for i, s := range list {
+				if s == st {
+					bb.bySens[t] = append(list[:i:i], list[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	bb.mu.Unlock()
+	if !ok {
+		return
+	}
+	st.mu.Lock()
+	pend := st.pend
+	st.pend = make([][]*Entry, len(st.ks.Sensitivities))
+	st.mu.Unlock()
+	for _, slot := range pend {
+		for _, e := range slot {
+			e.Release()
+		}
+	}
+}
+
+// Registered reports whether a KS with the given name is on the board.
+func (bb *Blackboard) Registered(name string) bool {
+	bb.mu.RLock()
+	defer bb.mu.RUnlock()
+	_, ok := bb.byName[name]
+	return ok
+}
+
+// Post creates an entry and places it on the board. Equivalent to
+// PostEntry(NewEntry(...)) where the board consumes the caller's
+// reference.
+func (bb *Blackboard) Post(t Type, size int64, payload any) {
+	bb.PostEntry(NewEntry(t, size, payload))
+}
+
+// PostEntry places an entry on the board, consuming the caller's
+// reference: once every triggered processing completes, the payload is
+// unreachable and reclaimed by the garbage collector (the paper frees the
+// buffer explicitly — Go's GC plays that role here, with the refcount
+// still governing writability).
+func (bb *Blackboard) PostEntry(e *Entry) {
+	if bb.closed.Load() {
+		panic("blackboard: Post after Close")
+	}
+	bb.posted.Add(1)
+	bb.mu.RLock()
+	listeners := bb.bySens[e.Type]
+	// Snapshot: registration during posting affects later posts only.
+	if len(listeners) > 0 {
+		listeners = append([]*ksState(nil), listeners...)
+	}
+	bb.mu.RUnlock()
+	for _, st := range listeners {
+		e.Retain()
+		if inputs := st.offer(e); inputs != nil {
+			bb.push(job{st: st, inputs: inputs})
+		}
+	}
+	e.Release() // the board consumed the caller's reference
+}
+
+// offer places e on the KS's least-filled matching slot and, if every slot
+// is non-empty, pops one entry per slot as a job input set.
+func (st *ksState) offer(e *Entry) []*Entry {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	best := -1
+	for i, t := range st.ks.Sensitivities {
+		if t != e.Type {
+			continue
+		}
+		if best < 0 || len(st.pend[i]) < len(st.pend[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		// Listener snapshot raced with a re-registration under the same
+		// name; drop the reference (Release is atomic, safe under st.mu).
+		e.Release()
+		return nil
+	}
+	st.pend[best] = append(st.pend[best], e)
+	for _, slot := range st.pend {
+		if len(slot) == 0 {
+			return nil
+		}
+	}
+	inputs := make([]*Entry, len(st.pend))
+	for i := range st.pend {
+		inputs[i] = st.pend[i][0]
+		st.pend[i] = st.pend[i][1:]
+	}
+	return inputs
+}
+
+// push enqueues a job on a random FIFO and wakes a worker. The queued
+// counter is raised before the signal and checked by workers under idleMu,
+// so a signal can never be lost between a failed sweep and the wait.
+func (bb *Blackboard) push(j job) {
+	bb.inflight.Add(1)
+	qi := int(bb.nextRand() % uint64(len(bb.queues)))
+	q := &bb.queues[qi]
+	q.mu.Lock()
+	q.jobs = append(q.jobs, j)
+	q.mu.Unlock()
+	bb.queued.Add(1)
+	bb.idleMu.Lock()
+	bb.idleCond.Signal()
+	bb.idleMu.Unlock()
+}
+
+// nextRand is a tiny splitmix step: cheap, lock-free queue selection.
+func (bb *Blackboard) nextRand() uint64 {
+	z := uint64(bb.seed.Add(-0x61c8864680b583eb)) // += 0x9e3779b97f4a7c15 (two's complement)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// steal sweeps the FIFOs from a random starting point.
+func (bb *Blackboard) steal(rng *rand.Rand) (job, bool) {
+	n := len(bb.queues)
+	start := rng.Intn(n)
+	for k := 0; k < n; k++ {
+		q := &bb.queues[(start+k)%n]
+		q.mu.Lock()
+		if j, ok := q.pop(); ok {
+			q.mu.Unlock()
+			bb.queued.Add(-1)
+			return j, true
+		}
+		q.mu.Unlock()
+	}
+	return job{}, false
+}
+
+func (bb *Blackboard) worker(id int) {
+	defer bb.wg.Done()
+	rng := rand.New(rand.NewSource(int64(id)*0x9e37 + 1))
+	for {
+		j, ok := bb.steal(rng)
+		if !ok {
+			// Back-off: wait for a push instead of spinning over the
+			// locks (paper §III-B). Re-checking the queued counter under
+			// idleMu makes the wait race-free against push's signal.
+			bb.backoffs.Add(1)
+			bb.idleMu.Lock()
+			if bb.closed.Load() {
+				bb.idleMu.Unlock()
+				return
+			}
+			if bb.queued.Load() > 0 {
+				bb.idleMu.Unlock()
+				continue
+			}
+			bb.idleCond.Wait()
+			bb.idleMu.Unlock()
+			continue
+		}
+		bb.runOp(j)
+		j.st.jobs.Add(1)
+		bb.jobsDone.Add(1)
+		for _, e := range j.inputs {
+			e.Release()
+		}
+		if bb.inflight.Add(-1) == 0 {
+			bb.drainMu.Lock()
+			bb.drain.Broadcast()
+			bb.drainMu.Unlock()
+		}
+	}
+}
+
+// Drain blocks until no jobs are queued or executing. Posts made by
+// running operations extend the wait (the whole cascade settles). Entries
+// parked on partially satisfied sensitivity sets do not count: they are
+// data at rest, not work.
+func (bb *Blackboard) Drain() {
+	bb.drainMu.Lock()
+	defer bb.drainMu.Unlock()
+	for bb.inflight.Load() != 0 {
+		bb.drain.Wait()
+	}
+}
+
+// Close drains the board and stops the workers. The board must not be used
+// afterwards.
+func (bb *Blackboard) Close() {
+	bb.Drain()
+	bb.closed.Store(true)
+	bb.idleMu.Lock()
+	bb.idleCond.Broadcast()
+	bb.idleMu.Unlock()
+	bb.wg.Wait()
+}
+
+// runOp executes one job's operation, isolating panics: a faulty
+// knowledge source (the paper's KSs are third-party plugins loaded from
+// shared libraries) must not take the engine down. The panic is counted
+// and the job's inputs are released normally.
+func (bb *Blackboard) runOp(j job) {
+	defer func() {
+		if r := recover(); r != nil {
+			bb.panics.Add(1)
+		}
+	}()
+	j.st.ks.Op(bb, j.inputs)
+}
+
+// Stats returns a snapshot of the engine counters.
+func (bb *Blackboard) Stats() Stats {
+	return Stats{
+		Posted:   bb.posted.Load(),
+		Jobs:     bb.jobsDone.Load(),
+		Backoffs: bb.backoffs.Load(),
+		OpPanics: bb.panics.Load(),
+	}
+}
+
+// KSJobs returns how many jobs a named KS has executed (0 for unknown
+// names).
+func (bb *Blackboard) KSJobs(name string) int64 {
+	bb.mu.RLock()
+	st, ok := bb.byName[name]
+	bb.mu.RUnlock()
+	if !ok {
+		return 0
+	}
+	return st.jobs.Load()
+}

@@ -1,0 +1,101 @@
+package blackboard
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Bridge forwards entries of the given types from one blackboard to
+// another, implementing the paper's future-work direction of "extending
+// our Blackboard implementation to support distributed analysis, extending
+// data-flow outside of nodes boundaries". The transport here is an
+// in-process buffered channel standing in for the paper's one-sided
+// communication scheme; the blackboard-facing semantics — a forwarding KS
+// on the source board, asynchronous delivery, type-selective routing — are
+// the ones the paper describes.
+//
+// Entries are re-posted on the destination with the same type, size and
+// payload (payloads are shared, not copied: entries are read-mostly by the
+// refcounting contract). Close the bridge to stop forwarding; in-flight
+// entries are flushed first.
+type Bridge struct {
+	src, dst *Blackboard
+	names    []string
+	ch       chan *Entry
+	wg       sync.WaitGroup
+	closed   bool
+	mu       sync.Mutex
+
+	forwarded int64
+}
+
+// NewBridge starts forwarding the given entry types from src to dst.
+// buffer bounds the number of in-flight entries (the paper's asynchronous
+// window); 0 selects a default of 64.
+func NewBridge(src, dst *Blackboard, types []Type, buffer int) (*Bridge, error) {
+	if len(types) == 0 {
+		return nil, fmt.Errorf("blackboard: bridge needs at least one type")
+	}
+	if buffer <= 0 {
+		buffer = 64
+	}
+	b := &Bridge{src: src, dst: dst, ch: make(chan *Entry, buffer)}
+	for i, t := range types {
+		name := fmt.Sprintf("bridge-%p-%d", b, i)
+		err := src.Register(KS{
+			Name:          name,
+			Sensitivities: []Type{t},
+			Op: func(_ *Blackboard, in []*Entry) {
+				e := in[0]
+				e.Retain() // keep alive across the channel
+				b.ch <- e
+			},
+		})
+		if err != nil {
+			for _, n := range b.names {
+				src.Unregister(n)
+			}
+			return nil, err
+		}
+		b.names = append(b.names, name)
+	}
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		for e := range b.ch {
+			dst.Post(e.Type, e.Size, e.Payload)
+			e.Release()
+			b.mu.Lock()
+			b.forwarded++
+			b.mu.Unlock()
+		}
+	}()
+	return b, nil
+}
+
+// Forwarded reports how many entries crossed the bridge.
+func (b *Bridge) Forwarded() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.forwarded
+}
+
+// Close stops forwarding: the source KSs are removed, in-flight entries
+// are flushed to the destination, and the transport goroutine exits. The
+// source board must be drained (no running ops posting bridged types)
+// before Close, or late entries are dropped by the unregister.
+func (b *Bridge) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	b.mu.Unlock()
+	for _, n := range b.names {
+		b.src.Unregister(n)
+	}
+	b.src.Drain()
+	close(b.ch)
+	b.wg.Wait()
+}

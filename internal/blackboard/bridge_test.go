@@ -1,0 +1,119 @@
+package blackboard
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBridgeForwardsSelectedTypes(t *testing.T) {
+	src := New(Config{Workers: 2})
+	defer src.Close()
+	dst := New(Config{Workers: 2})
+	defer dst.Close()
+
+	typA := TypeID("node0", "shared")
+	typB := TypeID("node0", "local-only")
+	var remote atomic.Int64
+	if err := dst.Register(KS{
+		Name:          "remote-sink",
+		Sensitivities: []Type{typA},
+		Op:            func(_ *Blackboard, in []*Entry) { remote.Add(in[0].Payload.(int64)) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bridge, err := NewBridge(src, dst, []Type{typA}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 50; i++ {
+		src.Post(typA, 8, i)
+		src.Post(typB, 8, i) // must not cross
+	}
+	src.Drain()
+	// Wait for the asynchronous transport to flush, then settle dst.
+	deadline := time.Now().Add(5 * time.Second)
+	for bridge.Forwarded() < 50 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	dst.Drain()
+	if remote.Load() != 50*51/2 {
+		t.Fatalf("remote sum = %d, want %d", remote.Load(), 50*51/2)
+	}
+	if bridge.Forwarded() != 50 {
+		t.Fatalf("forwarded = %d", bridge.Forwarded())
+	}
+	bridge.Close()
+	bridge.Close() // idempotent
+}
+
+func TestBridgeChain(t *testing.T) {
+	// Three boards in a chain: a data-flow crossing two "node boundaries".
+	boards := []*Blackboard{New(Config{Workers: 1}), New(Config{Workers: 1}), New(Config{Workers: 1})}
+	for _, b := range boards {
+		defer b.Close()
+	}
+	typ := TypeID("lvl", "event")
+	var final atomic.Int64
+	if err := boards[2].Register(KS{
+		Name:          "end",
+		Sensitivities: []Type{typ},
+		Op:            func(_ *Blackboard, _ []*Entry) { final.Add(1) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b01, err := NewBridge(boards[0], boards[1], []Type{typ}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b01.Close()
+	b12, err := NewBridge(boards[1], boards[2], []Type{typ}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b12.Close()
+
+	for i := 0; i < 20; i++ {
+		boards[0].Post(typ, 0, nil)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for final.Load() < 20 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if final.Load() != 20 {
+		t.Fatalf("final = %d", final.Load())
+	}
+}
+
+func TestBridgeValidation(t *testing.T) {
+	a := New(Config{Workers: 1})
+	defer a.Close()
+	b := New(Config{Workers: 1})
+	defer b.Close()
+	if _, err := NewBridge(a, b, nil, 0); err == nil {
+		t.Fatal("empty type list accepted")
+	}
+}
+
+func TestBridgeCloseFlushes(t *testing.T) {
+	src := New(Config{Workers: 2})
+	defer src.Close()
+	dst := New(Config{Workers: 2})
+	defer dst.Close()
+	typ := TypeID("l", "x")
+	var got atomic.Int64
+	dst.Register(KS{Name: "sink", Sensitivities: []Type{typ}, Op: func(_ *Blackboard, _ []*Entry) { got.Add(1) }})
+	bridge, err := NewBridge(src, dst, []Type{typ}, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		src.Post(typ, 0, nil)
+	}
+	src.Drain()
+	bridge.Close() // must flush everything already accepted
+	dst.Drain()
+	if got.Load() != 100 {
+		t.Fatalf("after close: %d of 100 delivered", got.Load())
+	}
+}

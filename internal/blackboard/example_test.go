@@ -1,0 +1,71 @@
+package blackboard_test
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/blackboard"
+)
+
+// The canonical data-flow: a pack type triggers an unpacker KS which posts
+// event entries, and a profiler KS reduces them — the paper's Figure 4 in
+// twenty lines.
+func Example() {
+	bb := blackboard.New(blackboard.Config{Workers: 4})
+	defer bb.Close()
+
+	packT := blackboard.TypeID("myapp", "pack")
+	eventT := blackboard.TypeID("myapp", "event")
+
+	if err := bb.Register(blackboard.KS{
+		Name:          "unpacker",
+		Sensitivities: []blackboard.Type{packT},
+		Op: func(bb *blackboard.Blackboard, in []*blackboard.Entry) {
+			for _, v := range in[0].Payload.([]int64) {
+				bb.Post(eventT, 8, v)
+			}
+		},
+	}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	var sum atomic.Int64
+	if err := bb.Register(blackboard.KS{
+		Name:          "profiler",
+		Sensitivities: []blackboard.Type{eventT},
+		Op: func(_ *blackboard.Blackboard, in []*blackboard.Entry) {
+			sum.Add(in[0].Payload.(int64))
+		},
+	}); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	bb.Post(packT, 24, []int64{10, 20, 30})
+	bb.Post(packT, 16, []int64{40, 50})
+	bb.Drain()
+	fmt.Println("reduced:", sum.Load())
+	// Output: reduced: 150
+}
+
+// Multi-type sensitivities join entries: the KS fires once per complete
+// set, consuming one entry per slot.
+func Example_join() {
+	bb := blackboard.New(blackboard.Config{Workers: 2})
+	defer bb.Close()
+	a := blackboard.TypeID("lvl", "left")
+	b := blackboard.TypeID("lvl", "right")
+	var pairs atomic.Int64
+	bb.Register(blackboard.KS{
+		Name:          "join",
+		Sensitivities: []blackboard.Type{a, b},
+		Op:            func(_ *blackboard.Blackboard, _ []*blackboard.Entry) { pairs.Add(1) },
+	})
+	for i := 0; i < 3; i++ {
+		bb.Post(a, 0, nil)
+	}
+	bb.Post(b, 0, nil) // only one right-hand entry: one pair completes
+	bb.Drain()
+	fmt.Println("pairs:", pairs.Load())
+	// Output: pairs: 1
+}

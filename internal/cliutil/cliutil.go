@@ -1,0 +1,137 @@
+// Package cliutil holds small helpers shared by the cmd/ executables.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+// ParseInts parses a comma-separated list of integers ("64,256,1024").
+func ParseInts(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("cliutil: empty integer list")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("cliutil: bad integer %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseBytes parses a byte size with an optional K/M/G suffix ("64M").
+func ParseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "G"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "G")
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "K")
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("cliutil: bad byte size %q: %w", s, err)
+	}
+	return v * mult, nil
+}
+
+// PlatformByName resolves a platform flag value.
+func PlatformByName(name string) (exp.Platform, error) {
+	switch strings.ToLower(name) {
+	case "tera100", "tera-100", "tera":
+		return exp.Tera100(), nil
+	case "curie":
+		return exp.Curie(), nil
+	}
+	return exp.Platform{}, fmt.Errorf("cliutil: unknown platform %q (want tera100 or curie)", name)
+}
+
+// AppSpec is one parsed NAME.CLASS@PROCS item.
+type AppSpec struct {
+	// Kind is the benchmark name ("BT", "EulerMHD", ...).
+	Kind string
+	// Class is the NAS class byte ('C' when omitted).
+	Class byte
+	// Procs is the requested process count (before benchmark snapping).
+	Procs int
+}
+
+// ParseApps parses a comma-separated list of NAME.CLASS@PROCS items
+// ("LU.D@1024,CG.C@128"). The class defaults to C when omitted.
+func ParseApps(s string) ([]AppSpec, error) {
+	var out []AppSpec
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		namePart, procsPart, ok := strings.Cut(item, "@")
+		if !ok {
+			return nil, fmt.Errorf("cliutil: bad app %q (want NAME.CLASS@PROCS)", item)
+		}
+		procs, err := strconv.Atoi(strings.TrimSpace(procsPart))
+		if err != nil || procs < 1 {
+			return nil, fmt.Errorf("cliutil: bad proc count in %q", item)
+		}
+		kind, classPart, hasClass := strings.Cut(namePart, ".")
+		spec := AppSpec{Kind: strings.TrimSpace(kind), Class: 'C', Procs: procs}
+		if hasClass {
+			classPart = strings.TrimSpace(classPart)
+			if len(classPart) != 1 {
+				return nil, fmt.Errorf("cliutil: bad class in %q", item)
+			}
+			spec.Class = strings.ToUpper(classPart)[0]
+		}
+		out = append(out, spec)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cliutil: no applications given")
+	}
+	return out, nil
+}
+
+// BenchSpec is one parsed NAME.CLASS benchmark item.
+type BenchSpec struct {
+	// Kind is the benchmark name.
+	Kind string
+	// Class is the NAS class byte (0 for class-less kinds like EulerMHD).
+	Class byte
+}
+
+// ParseBenches parses a comma-separated list of NAME.CLASS items
+// ("BT.C,SP.D,EulerMHD").
+func ParseBenches(s string) ([]BenchSpec, error) {
+	var out []BenchSpec
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		if strings.EqualFold(item, "EulerMHD") || strings.EqualFold(item, "euler") {
+			out = append(out, BenchSpec{Kind: "EulerMHD"})
+			continue
+		}
+		kind, classPart, ok := strings.Cut(item, ".")
+		if !ok || len(strings.TrimSpace(classPart)) != 1 {
+			return nil, fmt.Errorf("cliutil: bad benchmark %q (want NAME.CLASS, e.g. SP.C)", item)
+		}
+		out = append(out, BenchSpec{
+			Kind:  strings.ToUpper(strings.TrimSpace(kind)),
+			Class: strings.ToUpper(strings.TrimSpace(classPart))[0],
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cliutil: no benchmarks selected")
+	}
+	return out, nil
+}

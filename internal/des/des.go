@@ -1,0 +1,350 @@
+// Package des implements a deterministic discrete-event simulation kernel.
+//
+// The kernel drives a set of processes (Proc) in virtual time. Each process
+// runs in its own goroutine, but the scheduler executes exactly one process
+// at a time and hands control back and forth with a strict rendezvous, so a
+// simulation is fully deterministic: given the same seed and the same
+// program, every run produces the same event ordering and the same virtual
+// timestamps.
+//
+// The package provides the primitives the MPI runtime model is built on:
+//
+//   - Simulator: the event queue and virtual clock.
+//   - Proc: a coroutine-style simulated process (Sleep, Park, Now).
+//   - Cond: a condition variable in virtual time.
+//   - Queue: a FIFO server used for busy-until bandwidth accounting
+//     (NIC ports, filesystem service, ...).
+//
+// Virtual time is measured in integer nanoseconds (Time). Durations use
+// time.Duration so call sites read naturally.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Seconds converts a virtual time to seconds as a float64.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Duration converts a virtual time span to a time.Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// DurationToTime converts a duration into the Time scale.
+func DurationToTime(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// SecondsToDuration converts a floating-point number of seconds into a
+// duration, saturating instead of overflowing for absurdly large values.
+func SecondsToDuration(s float64) time.Duration {
+	const maxSec = float64(1<<62) / 1e9
+	if s >= maxSec {
+		return time.Duration(1 << 62)
+	}
+	if s <= 0 {
+		return 0
+	}
+	return time.Duration(s * 1e9)
+}
+
+// event is a scheduled occurrence. fire runs in the scheduler's goroutine;
+// it must not block other than by transferring control to a process.
+type event struct {
+	at   Time
+	seq  uint64
+	fire func()
+}
+
+// eventHeap orders events by (time, sequence), so simultaneous events fire
+// in schedule order.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Simulator owns the virtual clock and the event queue. Create one with New,
+// spawn processes with Spawn, then call Run.
+type Simulator struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	rng    *rand.Rand
+	procs  map[*Proc]struct{}
+	live   int
+	yield  chan yieldMsg
+	ran    bool
+	halted bool
+}
+
+type yieldMsg struct {
+	done  bool
+	panic any
+}
+
+// New creates a simulator whose internal randomness (used by Rand) is seeded
+// with seed. Two simulators with equal seeds and equal programs produce
+// identical runs.
+func New(seed int64) *Simulator {
+	return &Simulator{
+		rng:   rand.New(rand.NewSource(seed)),
+		procs: make(map[*Proc]struct{}),
+		yield: make(chan yieldMsg),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Rand returns the simulator's deterministic random source. It must only be
+// used from process context or event callbacks (never concurrently).
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Halt stops the simulation: Run returns once the currently executing
+// process parks. Remaining events are discarded.
+func (s *Simulator) Halt() { s.halted = true }
+
+// schedule registers fn to run at time at. If at is before the current time
+// it is clamped to now.
+func (s *Simulator) schedule(at Time, fn func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: at, seq: s.seq, fire: fn})
+}
+
+// After schedules fn to run d after the current virtual time. fn runs in
+// scheduler context: it may wake processes but must not itself block.
+func (s *Simulator) After(d time.Duration, fn func()) {
+	s.schedule(s.now+DurationToTime(d), fn)
+}
+
+// At schedules fn to run at absolute virtual time at.
+func (s *Simulator) At(at Time, fn func()) { s.schedule(at, fn) }
+
+// Proc is a simulated process. All its methods must be called from the
+// process's own goroutine (inside the function passed to Spawn).
+type Proc struct {
+	sim    *Simulator
+	name   string
+	resume chan struct{}
+	parked bool
+	dead   bool
+	// blockedOn is a human-readable description of the current blocking
+	// call, reported when the simulation deadlocks.
+	blockedOn string
+}
+
+// Name returns the name the process was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the owning simulator.
+func (p *Proc) Sim() *Simulator { return p.sim }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.sim.now }
+
+// Spawn creates a process executing fn and schedules its start at the
+// current virtual time. It may be called before Run or from a running
+// process.
+func (s *Simulator) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{sim: s, name: name, resume: make(chan struct{})}
+	s.procs[p] = struct{}{}
+	s.live++
+	go func() {
+		<-p.resume // wait for first transfer from the scheduler
+		defer func() {
+			p.dead = true
+			s.live--
+			delete(s.procs, p)
+			if r := recover(); r != nil {
+				s.yield <- yieldMsg{done: true, panic: r}
+				return
+			}
+			s.yield <- yieldMsg{done: true}
+		}()
+		fn(p)
+	}()
+	s.schedule(s.now, func() { s.transfer(p) })
+	return p
+}
+
+// transfer hands the scheduler's control to p and waits until p parks or
+// terminates. Runs in scheduler context.
+func (s *Simulator) transfer(p *Proc) {
+	if p.dead {
+		return
+	}
+	p.parked = false
+	p.resume <- struct{}{}
+	msg := <-s.yield
+	if msg.panic != nil {
+		panic(fmt.Sprintf("des: process %q panicked: %v", p.name, msg.panic))
+	}
+}
+
+// park blocks the process until the scheduler transfers control back.
+func (p *Proc) park(why string) {
+	p.parked = true
+	p.blockedOn = why
+	p.sim.yield <- yieldMsg{}
+	<-p.resume
+	p.blockedOn = ""
+}
+
+// Sleep advances the process's virtual time by d. A non-positive d yields
+// control without advancing time, which still gives other ready processes a
+// chance to run at the same timestamp.
+func (p *Proc) Sleep(d time.Duration) {
+	s := p.sim
+	s.schedule(s.now+DurationToTime(d), func() { s.transfer(p) })
+	p.park("sleep")
+}
+
+// SleepUntil advances the process's virtual time to at (no-op if at is in
+// the past).
+func (p *Proc) SleepUntil(at Time) {
+	s := p.sim
+	s.schedule(at, func() { s.transfer(p) })
+	p.park("sleep-until")
+}
+
+// Park blocks the process indefinitely; some other process or event callback
+// must call Unpark to resume it. why is reported in deadlock diagnostics.
+func (p *Proc) Park(why string) { p.park(why) }
+
+// Unpark schedules p to resume at the current virtual time. It must be
+// called from scheduler context or from another (currently running) process.
+// Unparking an already-runnable or dead process is a bug in the caller; it
+// would corrupt the rendezvous protocol, so Unpark panics in that case.
+func (p *Proc) Unpark() {
+	if p.dead {
+		panic("des: Unpark of terminated process " + p.name)
+	}
+	s := p.sim
+	s.schedule(s.now, func() { s.transfer(p) })
+}
+
+// DeadlockError is returned by Run when no events remain but live processes
+// are still blocked.
+type DeadlockError struct {
+	// Now is the virtual time at which the simulation stalled.
+	Now Time
+	// Blocked lists "name: reason" for every parked process.
+	Blocked []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("des: deadlock at t=%v: %d process(es) blocked: %v",
+		e.Now.Duration(), len(e.Blocked), e.Blocked)
+}
+
+// Run executes the simulation until the event queue drains or Halt is
+// called. It returns a *DeadlockError if processes remain blocked with no
+// pending events, and nil otherwise. Run must be called exactly once.
+func (s *Simulator) Run() error {
+	if s.ran {
+		panic("des: Run called twice")
+	}
+	s.ran = true
+	for len(s.queue) > 0 && !s.halted {
+		ev := heap.Pop(&s.queue).(*event)
+		s.now = ev.at
+		ev.fire()
+	}
+	if !s.halted && s.live > 0 {
+		blocked := make([]string, 0, s.live)
+		for p := range s.procs {
+			blocked = append(blocked, p.name+": "+p.blockedOn)
+		}
+		sort.Strings(blocked)
+		return &DeadlockError{Now: s.now, Blocked: blocked}
+	}
+	return nil
+}
+
+// Cond is a condition variable in virtual time: processes Wait on it, and
+// other processes (or event callbacks) Signal or Broadcast to wake them.
+// There is no separate mutex: the simulation's one-process-at-a-time
+// execution makes state changes atomic between blocking calls.
+type Cond struct {
+	waiters []*Proc
+}
+
+// Wait parks the calling process until Signal or Broadcast wakes it. As with
+// sync.Cond, the caller must re-check its predicate in a loop.
+func (c *Cond) Wait(p *Proc, why string) {
+	c.waiters = append(c.waiters, p)
+	p.park(why)
+}
+
+// Signal wakes one waiting process, if any (FIFO order).
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	copy(c.waiters, c.waiters[1:])
+	c.waiters = c.waiters[:len(c.waiters)-1]
+	p.Unpark()
+}
+
+// Broadcast wakes every waiting process.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, p := range ws {
+		p.Unpark()
+	}
+}
+
+// Waiting reports how many processes are currently parked on the condition.
+func (c *Cond) Waiting() int { return len(c.waiters) }
+
+// Queue models a single FIFO server with busy-until accounting: each job
+// occupies the server for its service duration, starting no earlier than the
+// completion of the previous job. It is the building block for bandwidth
+// pipes (NIC ports, filesystem streams) where we need completion times but
+// no process blocking.
+type Queue struct {
+	freeAt Time
+}
+
+// Next returns the completion time of a job arriving at 'arrive' with the
+// given service duration, and advances the server's busy-until time.
+func (q *Queue) Next(arrive Time, service time.Duration) Time {
+	start := arrive
+	if q.freeAt > start {
+		start = q.freeAt
+	}
+	q.freeAt = start + DurationToTime(service)
+	return q.freeAt
+}
+
+// FreeAt reports when the server becomes idle.
+func (q *Queue) FreeAt() Time { return q.freeAt }
+
+// Reset makes the server idle immediately.
+func (q *Queue) Reset() { q.freeAt = 0 }

@@ -1,0 +1,345 @@
+package des
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSleepAdvancesClock(t *testing.T) {
+	s := New(1)
+	var end Time
+	s.Spawn("a", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+		p.Sleep(5 * time.Millisecond)
+		end = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := DurationToTime(15 * time.Millisecond); end != want {
+		t.Fatalf("end = %v, want %v", end, want)
+	}
+}
+
+func TestZeroSleepYields(t *testing.T) {
+	s := New(1)
+	var order []string
+	s.Spawn("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Sleep(0)
+		order = append(order, "a2")
+	})
+	s.Spawn("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// b1 must run between a's two segments: zero-sleep yields.
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSimultaneousEventsFireInScheduleOrder(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.After(time.Millisecond, func() { order = append(order, i) })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestCondSignalWakesFIFO(t *testing.T) {
+	s := New(1)
+	var c Cond
+	var woke []string
+	for _, name := range []string{"p0", "p1", "p2"} {
+		name := name
+		s.Spawn(name, func(p *Proc) {
+			c.Wait(p, "test")
+			woke = append(woke, name)
+		})
+	}
+	s.Spawn("sig", func(p *Proc) {
+		p.Sleep(time.Millisecond) // let everyone park first
+		c.Signal()
+		p.Sleep(time.Millisecond)
+		c.Broadcast()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(woke) != 3 || woke[0] != "p0" {
+		t.Fatalf("woke = %v, want p0 first then all", woke)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	s := New(1)
+	var c Cond
+	s.Spawn("stuck", func(p *Proc) {
+		c.Wait(p, "never-signalled")
+	})
+	err := s.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if len(de.Blocked) != 1 || de.Blocked[0] != "stuck: never-signalled" {
+		t.Fatalf("blocked = %v", de.Blocked)
+	}
+}
+
+func TestParkUnpark(t *testing.T) {
+	s := New(1)
+	var target *Proc
+	done := false
+	target = s.Spawn("sleeper", func(p *Proc) {
+		p.Park("waiting for friend")
+		done = true
+	})
+	s.Spawn("waker", func(p *Proc) {
+		p.Sleep(3 * time.Millisecond)
+		target.Unpark()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("sleeper never resumed")
+	}
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	s := New(1)
+	sum := 0
+	s.Spawn("parent", func(p *Proc) {
+		for i := 1; i <= 3; i++ {
+			i := i
+			s.Spawn("child", func(p *Proc) {
+				p.Sleep(time.Duration(i) * time.Millisecond)
+				sum += i
+			})
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 6 {
+		t.Fatalf("sum = %d, want 6", sum)
+	}
+}
+
+func TestHaltStopsRun(t *testing.T) {
+	s := New(1)
+	ticks := 0
+	s.Spawn("ticker", func(p *Proc) {
+		for {
+			p.Sleep(time.Millisecond)
+			ticks++
+			if ticks == 5 {
+				s.Halt()
+				p.Park("halted")
+			}
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 5 {
+		t.Fatalf("ticks = %d, want 5", ticks)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []Time {
+		s := New(42)
+		var stamps []Time
+		for i := 0; i < 8; i++ {
+			s.Spawn("p", func(p *Proc) {
+				for j := 0; j < 4; j++ {
+					d := time.Duration(s.Rand().Intn(1000)) * time.Microsecond
+					p.Sleep(d)
+					stamps = append(stamps, p.Now())
+				}
+			})
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return stamps
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("stamp %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestQueueSerializes(t *testing.T) {
+	var q Queue
+	// Two jobs arriving at t=0, 10ms each: second completes at 20ms.
+	c1 := q.Next(0, 10*time.Millisecond)
+	c2 := q.Next(0, 10*time.Millisecond)
+	if c1 != DurationToTime(10*time.Millisecond) {
+		t.Fatalf("c1 = %v", c1)
+	}
+	if c2 != DurationToTime(20*time.Millisecond) {
+		t.Fatalf("c2 = %v", c2)
+	}
+	// A job arriving after the queue drained starts immediately.
+	c3 := q.Next(DurationToTime(time.Second), time.Millisecond)
+	if c3 != DurationToTime(time.Second+time.Millisecond) {
+		t.Fatalf("c3 = %v", c3)
+	}
+}
+
+// Property: queue completions are monotonically non-decreasing and each
+// completion is at least arrival+service.
+func TestQueueMonotoneProperty(t *testing.T) {
+	f := func(arrivals []uint32, services []uint16) bool {
+		var q Queue
+		var prev Time
+		n := len(arrivals)
+		if len(services) < n {
+			n = len(services)
+		}
+		at := Time(0)
+		for i := 0; i < n; i++ {
+			at += Time(arrivals[i] % 1e6) // non-decreasing arrivals
+			svc := time.Duration(services[i]) * time.Nanosecond
+			c := q.Next(at, svc)
+			if c < prev || c < at+DurationToTime(svc) {
+				return false
+			}
+			prev = c
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSecondsToDuration(t *testing.T) {
+	if d := SecondsToDuration(1.5); d != 1500*time.Millisecond {
+		t.Fatalf("d = %v", d)
+	}
+	if d := SecondsToDuration(-3); d != 0 {
+		t.Fatalf("negative should clamp to 0, got %v", d)
+	}
+	if d := SecondsToDuration(1e300); d <= 0 {
+		t.Fatalf("huge value should saturate positive, got %v", d)
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	tm := DurationToTime(2500 * time.Millisecond)
+	if s := tm.Seconds(); s != 2.5 {
+		t.Fatalf("Seconds = %v", s)
+	}
+	if d := tm.Duration(); d != 2500*time.Millisecond {
+		t.Fatalf("Duration = %v", d)
+	}
+}
+
+func TestAccessorsAndSleepUntil(t *testing.T) {
+	s := New(9)
+	var c Cond
+	s.Spawn("worker", func(p *Proc) {
+		if p.Name() != "worker" || p.Sim() != s {
+			t.Error("accessors wrong")
+		}
+		p.SleepUntil(DurationToTime(5 * time.Millisecond))
+		if p.Now() != DurationToTime(5*time.Millisecond) {
+			t.Errorf("SleepUntil landed at %v", p.Now())
+		}
+		p.SleepUntil(DurationToTime(time.Millisecond)) // past: no-op in time
+		if p.Now() != DurationToTime(5*time.Millisecond) {
+			t.Errorf("past SleepUntil moved the clock to %v", p.Now())
+		}
+	})
+	s.At(DurationToTime(2*time.Millisecond), func() {
+		if s.Now() != DurationToTime(2*time.Millisecond) {
+			t.Error("At fired at the wrong time")
+		}
+	})
+	if c.Waiting() != 0 {
+		t.Error("empty cond should report no waiters")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Now() != DurationToTime(5*time.Millisecond) {
+		t.Fatalf("final time = %v", s.Now())
+	}
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("process panic should propagate out of Run")
+		}
+	}()
+	s := New(1)
+	s.Spawn("bomb", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		panic("boom")
+	})
+	_ = s.Run()
+}
+
+func TestUnparkDeadProcPanics(t *testing.T) {
+	s := New(1)
+	var target *Proc
+	target = s.Spawn("shortlived", func(p *Proc) {})
+	s.Spawn("waker", func(p *Proc) {
+		p.Sleep(time.Millisecond) // target has terminated by now
+		defer func() {
+			if recover() == nil {
+				t.Error("Unpark of dead proc should panic")
+			}
+		}()
+		target.Unpark()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueFreeAtAndReset(t *testing.T) {
+	var q Queue
+	q.Next(0, 5*time.Millisecond)
+	if q.FreeAt() != DurationToTime(5*time.Millisecond) {
+		t.Fatalf("FreeAt = %v", q.FreeAt())
+	}
+	q.Reset()
+	if q.FreeAt() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestDeadlockErrorMessage(t *testing.T) {
+	err := &DeadlockError{Now: DurationToTime(time.Second), Blocked: []string{"a: x"}}
+	if msg := err.Error(); msg == "" || !strings.Contains(msg, "1 process(es)") {
+		t.Fatalf("message = %q", msg)
+	}
+}

@@ -1,0 +1,469 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/instrument"
+	"repro/internal/mpi"
+	"repro/internal/nas"
+	"repro/internal/vmpi"
+)
+
+// Tool identifies a measurement-tool configuration of the Figure 16
+// comparison.
+type Tool int
+
+// The five configurations of Figure 16.
+const (
+	// ToolReference runs uninstrumented.
+	ToolReference Tool = iota
+	// ToolOnline is the paper's runtime coupling (this work).
+	ToolOnline
+	// ToolScorePProfile is Score-P's runtime profile (local reduction).
+	ToolScorePProfile
+	// ToolScorePTrace is Score-P's OTF2 trace through SIONlib files.
+	ToolScorePTrace
+	// ToolScalasca is Scalasca's runtime summarization.
+	ToolScalasca
+)
+
+var toolNames = [...]string{
+	ToolReference:     "Reference",
+	ToolOnline:        "Online Coupling",
+	ToolScorePProfile: "ScoreP profile (MPI)",
+	ToolScorePTrace:   "ScoreP trace (MPI+SionLib)",
+	ToolScalasca:      "Scalasca",
+}
+
+// String returns the tool's display name (matching the paper's legend).
+func (t Tool) String() string {
+	if int(t) < len(toolNames) {
+		return toolNames[t]
+	}
+	return fmt.Sprintf("Tool(%d)", int(t))
+}
+
+// Tools lists every tool configuration in Figure 16 order.
+func Tools() []Tool {
+	return []Tool{ToolReference, ToolScalasca, ToolScorePProfile, ToolScorePTrace, ToolOnline}
+}
+
+// OverheadPoint is one (benchmark, procs, tool) measurement.
+type OverheadPoint struct {
+	// Bench is the workload name (e.g. "SP.D").
+	Bench string
+	// Procs is the application's core count (analysis cores excluded,
+	// like the paper's x axes).
+	Procs int
+	// Tool is the measurement-tool configuration.
+	Tool Tool
+	// Ratio is the writer/reader ratio for the online tool (0 otherwise).
+	Ratio int
+	// RefSeconds and Seconds are the uninstrumented and instrumented
+	// Init..Finalize wall times.
+	RefSeconds, Seconds float64
+	// OverheadPct is the paper's relative overhead in percent.
+	OverheadPct float64
+	// DataBytes is the measurement data volume produced by the tool.
+	DataBytes int64
+	// Events is the number of recorded events.
+	Events int64
+	// Bi is the paper's average instrumentation data bandwidth:
+	// DataBytes/Seconds.
+	Bi float64
+}
+
+// runReference executes the workload uninstrumented and returns its wall
+// time in seconds.
+func runReference(p Platform, w *nas.Workload) (float64, error) {
+	return runReferenceSeed(p, w, 1)
+}
+
+// runReferenceSeed is runReference under a specific noise seed.
+func runReferenceSeed(p Platform, w *nas.Workload, seed int64) (float64, error) {
+	var comm *mpi.Comm
+	cfg := p.MPIConfig(w.Procs)
+	cfg.Seed = seed
+	world := mpi.NewWorld(cfg, mpi.Program{
+		Name: w.Name, Procs: w.Procs,
+		Main: func(r *mpi.Rank) { w.Run(instrument.New(r, comm)) },
+	})
+	comm = world.NewComm(world.ProgramRanks(0))
+	if err := world.Run(); err != nil {
+		return 0, err
+	}
+	return world.ProgramFinish(0).Seconds(), nil
+}
+
+// runOnline executes the workload under the online coupling at the given
+// writer/reader ratio and returns (wall seconds, data bytes, events).
+func runOnline(p Platform, w *nas.Workload, ratio int, seed int64) (float64, int64, int64, error) {
+	return runOnlineCost(p, w, ratio, OnlinePerEventCost, seed)
+}
+
+// runOnlineCost is runOnline with an explicit per-event capture cost.
+func runOnlineCost(p Platform, w *nas.Workload, ratio int, perEvent time.Duration, seed int64) (float64, int64, int64, error) {
+	analyzers := Readers(w.Procs, ratio)
+	var layout *vmpi.Layout
+	var runErr error
+	var bytes, events int64
+	fail := func(err error) {
+		if runErr == nil {
+			runErr = err
+		}
+	}
+	cfg := p.MPIConfig(w.Procs + analyzers)
+	cfg.Seed = seed
+	world := mpi.NewWorld(cfg,
+		mpi.Program{Name: w.Name, Cmdline: "./" + w.Name, Procs: w.Procs, Main: func(r *mpi.Rank) {
+			sess := layout.Init(r)
+			m := instrument.New(r, sess.WorldComm())
+			cfg := instrument.OnlineConfig{
+				AppID:        uint32(sess.PartitionID()),
+				RecordSize:   EventRecordSize,
+				PackBytes:    StreamBlockSize,
+				PerEventCost: perEvent,
+				SizeOnly:     true,
+			}
+			rec, err := instrument.AttachOnline(sess, "Analyzer", cfg)
+			if err != nil {
+				fail(err)
+				return
+			}
+			m.SetRecorder(rec)
+			w.Run(m)
+			bytes += rec.BytesProduced()
+			events += rec.Events()
+		}},
+		mpi.Program{Name: "Analyzer", Cmdline: "./analyzer", Procs: analyzers, Main: func(r *mpi.Rank) {
+			sess := layout.Init(r)
+			var m vmpi.Map
+			for pid := 0; pid < sess.Layout().PartitionCount(); pid++ {
+				if pid == sess.PartitionID() {
+					continue
+				}
+				if err := sess.MapPartitions(pid, vmpi.MapRoundRobin, &m); err != nil {
+					fail(err)
+					return
+				}
+			}
+			st := vmpi.NewStream(sess, StreamBlockSize, vmpi.BalanceRoundRobin)
+			if err := st.OpenMap(&m, "r"); err != nil {
+				fail(err)
+				return
+			}
+			for {
+				blk, err := st.Read(false)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if blk == nil {
+					break
+				}
+				// Unpack + analysis cost for the block.
+				r.Compute(analysisCost(blk.Size))
+			}
+			st.Close()
+		}},
+	)
+	layout = vmpi.NewLayout(world)
+	if err := world.Run(); err != nil {
+		return 0, 0, 0, err
+	}
+	if runErr != nil {
+		return 0, 0, 0, runErr
+	}
+	return world.ProgramFinish(0).Seconds(), bytes, events, nil
+}
+
+// analysisCost converts an incoming block size to analyzer processing
+// time at AnalyzerByteRate.
+func analysisCost(bytes int64) time.Duration {
+	return time.Duration(float64(bytes) / AnalyzerByteRate * 1e9)
+}
+
+// runFileTool executes the workload under a filesystem-based tool and
+// returns (wall seconds, data bytes, events).
+func runFileTool(p Platform, w *nas.Workload, tool Tool, seed int64) (float64, int64, int64, error) {
+	var comm *mpi.Comm
+	var set *instrument.SIONSet
+	var bytes, events int64
+	cfg0 := p.MPIConfig(w.Procs)
+	cfg0.Seed = seed
+	world := mpi.NewWorld(cfg0, mpi.Program{
+		Name: w.Name, Procs: w.Procs,
+		Main: func(r *mpi.Rank) {
+			m := instrument.New(r, comm)
+			// Preserve cost proportions under iteration reduction: the
+			// periodic flush cadence and the constant end-of-run dumps
+			// occupy the same fraction of a truncated run as of a full
+			// one, so overhead percentages are unchanged.
+			scale := func(v int64) int64 {
+				if w.FullIters > 0 && w.Iters < w.FullIters {
+					v = v * int64(w.Iters) / int64(w.FullIters)
+				}
+				if v < 4096 {
+					v = 4096
+				}
+				return v
+			}
+			var rec instrument.Recorder
+			var counter *instrument.NullRecorder
+			switch tool {
+			case ToolScorePProfile:
+				cfg := instrument.DefaultProfileConfig()
+				cfg.DumpBytes = scale(cfg.DumpBytes)
+				rec = instrument.NewProfileRecorder(r, r.World().FS(), "scorep-profile", cfg)
+			case ToolScalasca:
+				cfg := instrument.ProfileConfig{PerEventCost: 350 * time.Nanosecond, DumpBytes: scale(512 << 10)}
+				rec = instrument.NewProfileRecorder(r, r.World().FS(), "scalasca", cfg)
+			case ToolScorePTrace:
+				cfg := instrument.DefaultTraceConfig()
+				cfg.BufferBytes = scale(cfg.BufferBytes)
+				rec = instrument.NewTraceRecorder(r, r.World().FS(), set, cfg)
+			default:
+				counter = &instrument.NullRecorder{}
+				rec = counter
+			}
+			m.SetRecorder(rec)
+			w.Run(m)
+			bytes += rec.BytesProduced()
+			if counter != nil {
+				events += counter.EventsSeen
+			} else if tr, ok := rec.(*instrument.TraceRecorder); ok {
+				events += tr.BytesProduced() / 80
+			} else if pr, ok := rec.(*instrument.ProfileRecorder); ok {
+				var n int64
+				for _, k := range pr.Profile().Kinds() {
+					n += pr.Profile()[k].Hits
+				}
+				events += n
+			}
+		},
+	})
+	comm = world.NewComm(world.ProgramRanks(0))
+	set = instrument.NewSIONSet(world.FS(), p.CoresPerNode, w.Name)
+	if err := world.Run(); err != nil {
+		return 0, 0, 0, err
+	}
+	return world.ProgramFinish(0).Seconds(), bytes, events, nil
+}
+
+// MeasureOverhead runs the workload uninstrumented and under the given
+// tool, returning the relative overhead point. ratio applies to the online
+// tool only.
+func MeasureOverhead(p Platform, w *nas.Workload, tool Tool, ratio int) (OverheadPoint, error) {
+	ref, err := runReference(p, w)
+	if err != nil {
+		return OverheadPoint{}, fmt.Errorf("exp: reference run of %s/%d: %w", w.Name, w.Procs, err)
+	}
+	return MeasureOverheadWithRef(p, w, tool, ratio, ref)
+}
+
+// MeasureOverheadWithRef is MeasureOverhead with a precomputed reference
+// wall time (seed 1), so sweeps comparing several tools on one workload
+// pay for the reference run once.
+func MeasureOverheadWithRef(p Platform, w *nas.Workload, tool Tool, ratio int, ref float64) (OverheadPoint, error) {
+	return measureOverheadSeed(p, w, tool, ratio, ref, 1)
+}
+
+func measureOverheadSeed(p Platform, w *nas.Workload, tool Tool, ratio int, ref float64, seed int64) (OverheadPoint, error) {
+	var err error
+	pt := OverheadPoint{Bench: w.Name, Procs: w.Procs, Tool: tool, RefSeconds: ref}
+	switch tool {
+	case ToolReference:
+		pt.Seconds = ref
+	case ToolOnline:
+		pt.Ratio = ratio
+		pt.Seconds, pt.DataBytes, pt.Events, err = runOnline(p, w, ratio, seed)
+	default:
+		pt.Seconds, pt.DataBytes, pt.Events, err = runFileTool(p, w, tool, seed)
+	}
+	if err != nil {
+		return OverheadPoint{}, fmt.Errorf("exp: %s run of %s/%d: %w", tool, w.Name, w.Procs, err)
+	}
+	pt.OverheadPct = 100 * (pt.Seconds - pt.RefSeconds) / pt.RefSeconds
+	if pt.Seconds > 0 {
+		pt.Bi = float64(pt.DataBytes) / pt.Seconds
+	}
+	return pt, nil
+}
+
+// MeasureOverheadAvg repeats the paired (reference, tool) measurement
+// under `repeats` different noise seeds and averages, exactly as the paper
+// averages its 3 to 5 passes to suppress measurement noise. Each seed
+// draws a fresh ±0.2 % per-rank compute-jitter realization.
+func MeasureOverheadAvg(p Platform, w *nas.Workload, tool Tool, ratio, repeats int) (OverheadPoint, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	var acc OverheadPoint
+	for s := 0; s < repeats; s++ {
+		seed := int64(s + 1)
+		ref, err := runReferenceSeed(p, w, seed)
+		if err != nil {
+			return OverheadPoint{}, fmt.Errorf("exp: reference run of %s/%d: %w", w.Name, w.Procs, err)
+		}
+		pt, err := measureOverheadSeed(p, w, tool, ratio, ref, seed)
+		if err != nil {
+			return OverheadPoint{}, err
+		}
+		acc.Bench, acc.Procs, acc.Tool, acc.Ratio = pt.Bench, pt.Procs, pt.Tool, pt.Ratio
+		acc.RefSeconds += pt.RefSeconds
+		acc.Seconds += pt.Seconds
+		acc.OverheadPct += pt.OverheadPct
+		acc.DataBytes, acc.Events = pt.DataBytes, pt.Events
+	}
+	acc.RefSeconds /= float64(repeats)
+	acc.Seconds /= float64(repeats)
+	acc.OverheadPct /= float64(repeats)
+	if acc.Seconds > 0 {
+		acc.Bi = float64(acc.DataBytes) / acc.Seconds
+	}
+	return acc, nil
+}
+
+// Fig15Case is one benchmark series of Figure 15.
+type Fig15Case struct {
+	// Kind is the benchmark ("BT", "CG", ...; "EulerMHD").
+	Kind string
+	// Class is the NAS class (ignored for EulerMHD).
+	Class nas.Class
+}
+
+// Fig15Cases returns the paper's Figure 15 series.
+func Fig15Cases() []Fig15Case {
+	return []Fig15Case{
+		{"BT", nas.ClassC}, {"BT", nas.ClassD},
+		{"CG", nas.ClassC},
+		{"FT", nas.ClassC},
+		{"LU", nas.ClassC}, {"LU", nas.ClassD},
+		{"SP", nas.ClassC}, {"SP", nas.ClassD},
+		{"EulerMHD", 0},
+	}
+}
+
+// Fig15Sweep measures online-coupling overhead (1:1 ratio, as in the
+// paper) for each case over the given process counts. iters reduces the
+// timestep count (0 = official counts). Process counts are snapped to each
+// benchmark's constraint; unsupported/degenerate combinations are skipped,
+// as the paper omits them.
+func Fig15Sweep(p Platform, cases []Fig15Case, procsList []int, iters int) ([]OverheadPoint, error) {
+	var out []OverheadPoint
+	for _, c := range cases {
+		seen := map[int]bool{}
+		for _, procs := range procsList {
+			procs = nas.ValidProcs(c.Kind, procs)
+			if procs < 2 || seen[procs] {
+				continue
+			}
+			seen[procs] = true
+			w, err := nas.ByName(c.Kind, c.Class, procs, iters)
+			if err != nil {
+				continue
+			}
+			pt, err := MeasureOverheadAvg(p, w, ToolOnline, 1, 3)
+			if err != nil {
+				return out, err
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// Fig16Sweep measures SP.D under every tool configuration over the given
+// process counts, averaging 5 noise seeds per point as the paper does on
+// Curie. Reference runs are computed once per seed and shared across the
+// tools.
+func Fig16Sweep(p Platform, procsList []int, iters int) ([]OverheadPoint, error) {
+	const repeats = 5
+	var out []OverheadPoint
+	for _, procs := range procsList {
+		procs = nas.ValidProcs("SP", procs)
+		w, err := nas.SP(nas.ClassD, procs, iters)
+		if err != nil {
+			return out, err
+		}
+		refs := make([]float64, repeats)
+		for sd := 0; sd < repeats; sd++ {
+			if refs[sd], err = runReferenceSeed(p, w, int64(sd+1)); err != nil {
+				return out, err
+			}
+		}
+		for _, tool := range Tools() {
+			var acc OverheadPoint
+			for sd := 0; sd < repeats; sd++ {
+				pt, err := measureOverheadSeed(p, w, tool, 1, refs[sd], int64(sd+1))
+				if err != nil {
+					return out, err
+				}
+				acc.Bench, acc.Procs, acc.Tool, acc.Ratio = pt.Bench, pt.Procs, pt.Tool, pt.Ratio
+				acc.RefSeconds += pt.RefSeconds
+				acc.Seconds += pt.Seconds
+				acc.OverheadPct += pt.OverheadPct
+				acc.DataBytes, acc.Events = pt.DataBytes, pt.Events
+			}
+			acc.RefSeconds /= repeats
+			acc.Seconds /= repeats
+			acc.OverheadPct /= repeats
+			if acc.Seconds > 0 {
+				acc.Bi = float64(acc.DataBytes) / acc.Seconds
+			}
+			out = append(out, acc)
+		}
+	}
+	return out, nil
+}
+
+// WriteOverheadTable prints overhead points as figure series rows.
+func WriteOverheadTable(w io.Writer, title string, points []OverheadPoint) {
+	fmt.Fprintf(w, "# %s\n", title)
+	fmt.Fprintf(w, "%-10s %7s %-28s %10s %10s %9s %12s %12s\n",
+		"bench", "procs", "tool", "ref(s)", "run(s)", "ovh(%)", "data", "Bi(MB/s)")
+	for _, pt := range points {
+		fmt.Fprintf(w, "%-10s %7d %-28s %10.3f %10.3f %9.2f %12s %12.2f\n",
+			pt.Bench, pt.Procs, pt.Tool, pt.RefSeconds, pt.Seconds, pt.OverheadPct,
+			humanBytes(pt.DataBytes), pt.Bi/1e6)
+	}
+}
+
+func humanBytes(b int64) string {
+	f := float64(b)
+	units := []string{"B", "KB", "MB", "GB", "TB"}
+	i := 0
+	for f >= 1024 && i < len(units)-1 {
+		f /= 1024
+		i++
+	}
+	return fmt.Sprintf("%.2f%s", f, units[i])
+}
+
+// RatioSweep measures online-coupling overhead across writer/reader
+// ratios for one workload — the resource-dimensioning claim of the paper's
+// §IV-B: "ratios between 1 and 1/32 provide enough bandwidth for profiling
+// purpose, 1/10 being a good bandwidth-resource trade-off". Overhead stays
+// flat while the analysis partition's NIC capacity exceeds the
+// application's instrumentation bandwidth Bi, and grows once stream
+// back-pressure reaches the application.
+func RatioSweep(p Platform, w *nas.Workload, ratios []int) ([]OverheadPoint, error) {
+	ref, err := runReference(p, w)
+	if err != nil {
+		return nil, err
+	}
+	var out []OverheadPoint
+	for _, ratio := range ratios {
+		if ratio > w.Procs {
+			continue
+		}
+		pt, err := MeasureOverheadWithRef(p, w, ToolOnline, ratio, ref)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

@@ -1,0 +1,248 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/blackboard"
+	"repro/internal/instrument"
+	"repro/internal/mpi"
+	"repro/internal/nas"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/vmpi"
+)
+
+// ProfileOptions parameterizes a full profiling run.
+type ProfileOptions struct {
+	// Analyzers is the analyzer partition size (0 = one analyzer core per
+	// 16 application cores, the paper's good bandwidth/resource
+	// trade-off region).
+	Analyzers int
+	// Workers is the blackboard worker-pool size (0 = GOMAXPROCS).
+	Workers int
+	// PackBytes overrides the stream block size (0 = StreamBlockSize).
+	PackBytes int
+	// WaitState enables the late-sender wait-state analysis per
+	// application (the paper's §IV-D module).
+	WaitState bool
+	// TemporalWindowNs enables temporal maps with the given bucket width
+	// in virtual nanoseconds (0 = disabled).
+	TemporalWindowNs int64
+	// Callsites enables the per-call-site breakdown.
+	Callsites bool
+	// Sizes enables the message-size distribution.
+	Sizes bool
+	// Export, when non-nil, enables the selective trace-export KS ("IO
+	// proxy", paper §VI) on every application; after the run each
+	// application's module is handed to the callback for writing.
+	Export func(app string, m *analysis.ExportModule)
+	// ExportFilter selects the exported events (nil = everything).
+	ExportFilter func(*trace.Event) bool
+}
+
+// ProfileRun executes one or more instrumented applications together with
+// an analyzer partition hosting a multi-level blackboard, and returns the
+// profiling report (one chapter per application) — the full pipeline
+// behind the paper's Figures 17 and 18, including concurrent
+// multi-application profiling (Figure 5).
+//
+// The event transport is real: packs of encoded events flow through VMPI
+// streams into the analyzer ranks, which post them on a shared parallel
+// blackboard; the dispatcher routes each pack to its application's level
+// and the unpacker/profiler/topology/density knowledge sources reduce
+// them concurrently with the simulation.
+func ProfileRun(p Platform, workloads []*nas.Workload, opts ProfileOptions) (*report.Report, error) {
+	if len(workloads) == 0 {
+		return nil, fmt.Errorf("exp: no workloads to profile")
+	}
+	appProcs := 0
+	for _, w := range workloads {
+		appProcs += w.Procs
+	}
+	analyzers := opts.Analyzers
+	if analyzers <= 0 {
+		analyzers = (appProcs + 15) / 16
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	packBytes := opts.PackBytes
+	if packBytes <= 0 {
+		packBytes = StreamBlockSize
+	}
+
+	bb := blackboard.New(blackboard.Config{Workers: workers})
+	defer bb.Close()
+	disp, err := analysis.NewDispatcher(bb)
+	if err != nil {
+		return nil, err
+	}
+
+	var layout *vmpi.Layout
+	var runErr error
+	fail := func(err error) {
+		if runErr == nil {
+			runErr = err
+		}
+	}
+
+	programs := make([]mpi.Program, 0, len(workloads)+1)
+	for _, w := range workloads {
+		w := w
+		programs = append(programs, mpi.Program{
+			Name: w.Name, Cmdline: "./" + w.Name, Procs: w.Procs,
+			Main: func(r *mpi.Rank) {
+				sess := layout.Init(r)
+				m := instrument.New(r, sess.WorldComm())
+				cfg := instrument.OnlineConfig{
+					AppID:        uint32(sess.PartitionID()),
+					RecordSize:   EventRecordSize,
+					PackBytes:    packBytes,
+					PerEventCost: OnlinePerEventCost,
+					// Real payloads: the analyzer decodes them.
+					SizeOnly: false,
+				}
+				rec, err := instrument.AttachOnline(sess, "Analyzer", cfg)
+				if err != nil {
+					fail(err)
+					return
+				}
+				m.SetRecorder(rec)
+				w.Run(m)
+			},
+		})
+	}
+	programs = append(programs, mpi.Program{
+		Name: "Analyzer", Cmdline: "./analyzer", Procs: analyzers,
+		Main: func(r *mpi.Rank) {
+			sess := layout.Init(r)
+			var m vmpi.Map
+			// Additive map over every application partition
+			// (multi-instrumentation, paper Figure 10).
+			for pid := 0; pid < sess.Layout().PartitionCount(); pid++ {
+				if pid == sess.PartitionID() {
+					continue
+				}
+				if err := sess.MapPartitions(pid, vmpi.MapRoundRobin, &m); err != nil {
+					fail(err)
+					return
+				}
+			}
+			st := vmpi.NewStream(sess, int64(packBytes), vmpi.BalanceRoundRobin)
+			if err := st.OpenMap(&m, "r"); err != nil {
+				fail(err)
+				return
+			}
+			for {
+				blk, err := st.Read(false)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if blk == nil {
+					break
+				}
+				// Post the pack on the shared blackboard (real bytes) and
+				// charge the modeled analysis time in the simulation.
+				disp.PostRaw(blk.Payload)
+				r.Compute(analysisCost(blk.Size))
+			}
+			st.Close()
+		},
+	})
+
+	world := mpi.NewWorld(p.MPIConfig(appProcs+analyzers), programs...)
+	layout = vmpi.NewLayout(world)
+
+	// Register one pipeline per application level before the run.
+	pipes := make([]*analysis.Pipeline, len(workloads))
+	waits := make([]*analysis.WaitStateModule, len(workloads))
+	temporals := make([]*analysis.TemporalModule, len(workloads))
+	callsites := make([]*analysis.CallsiteModule, len(workloads))
+	exports := make([]*analysis.ExportModule, len(workloads))
+	sizes := make([]*analysis.SizesModule, len(workloads))
+	for i, w := range workloads {
+		part := layout.DescByName(w.Name)
+		if part == nil {
+			return nil, fmt.Errorf("exp: partition %q missing", w.Name)
+		}
+		pipes[i], err = disp.AddApp(uint32(part.ID), w.Name, w.Procs)
+		if err != nil {
+			return nil, err
+		}
+		if opts.WaitState {
+			waits[i], err = pipes[i].EnableWaitState()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if opts.TemporalWindowNs > 0 {
+			temporals[i], err = pipes[i].EnableTemporal(opts.TemporalWindowNs)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if opts.Callsites {
+			callsites[i], err = pipes[i].EnableCallsites()
+			if err != nil {
+				return nil, err
+			}
+			for ctx, label := range nas.ContextLabels() {
+				callsites[i].Label(ctx, label)
+			}
+		}
+		if opts.Export != nil {
+			exports[i], err = pipes[i].EnableExport("proxy", opts.ExportFilter)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if opts.Sizes {
+			sizes[i], err = pipes[i].EnableSizes()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if err := world.Run(); err != nil {
+		return nil, err
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	// Streams are closed: mark every level complete and let the board
+	// settle.
+	for _, pipe := range pipes {
+		pipe.PostEOS()
+	}
+	bb.Drain()
+
+	if opts.Export != nil {
+		for i, w := range workloads {
+			opts.Export(w.Name, exports[i])
+		}
+	}
+
+	rep := &report.Report{Title: fmt.Sprintf("online profiling report (%s)", p.Name)}
+	for i, w := range workloads {
+		rep.Chapters = append(rep.Chapters, &report.Chapter{
+			App:       w.Name,
+			Procs:     w.Procs,
+			WallTime:  time.Duration(world.ProgramFinish(i).Duration()),
+			Profiler:  pipes[i].Profiler,
+			Topology:  pipes[i].Topology,
+			Density:   pipes[i].Density,
+			WaitState: waits[i],
+			Temporal:  temporals[i],
+			Callsites: callsites[i],
+			Sizes:     sizes[i],
+		})
+	}
+	return rep, nil
+}

@@ -1,0 +1,165 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/mpi"
+	"repro/internal/vmpi"
+)
+
+// StreamPoint is one measurement of the Figure 14 experiment: global VMPI
+// stream throughput between a writer and a reader partition.
+type StreamPoint struct {
+	// Writers and Readers are the partition sizes; Ratio = Writers/Readers
+	// as swept in the paper.
+	Writers, Readers, Ratio int
+	// Bytes is the total payload moved.
+	Bytes int64
+	// Seconds is the virtual time from job start to the last reader
+	// drain.
+	Seconds float64
+	// Throughput is Bytes/Seconds.
+	Throughput float64
+	// FSShare is the paper's prorated filesystem bandwidth for the same
+	// writer core count — the comparison line that yields the ≈9.1 GB/s
+	// figure at 2560 cores.
+	FSShare float64
+	// WriteStalls counts writer-side back-pressure events.
+	WriteStalls int64
+}
+
+// Readers computes the paper's reader count for a writer count and ratio:
+// Nr = floor(Nw/ratio), minimum 1.
+func Readers(writers, ratio int) int {
+	nr := writers / ratio
+	if nr < 1 {
+		nr = 1
+	}
+	return nr
+}
+
+// StreamThroughput runs the coupling codes of the paper's Figures 11 and
+// 12: `writers` processes each stream perWriter bytes in blockSize blocks
+// to a reader partition sized by ratio, and the cumulative throughput is
+// measured.
+func StreamThroughput(p Platform, writers, ratio int, perWriter, blockSize int64) (StreamPoint, error) {
+	readers := Readers(writers, ratio)
+	blocks := int(perWriter / blockSize)
+	if blocks < 1 {
+		blocks = 1
+	}
+	var layout *vmpi.Layout
+	var runErr error
+	var stalls int64
+	fail := func(err error) {
+		if runErr == nil {
+			runErr = err
+		}
+	}
+
+	cfg := p.MPIConfig(writers + readers)
+	w := mpi.NewWorld(cfg,
+		mpi.Program{Name: "writer", Cmdline: "./writer", Procs: writers, Main: func(r *mpi.Rank) {
+			sess := layout.Init(r)
+			an := sess.Layout().DescByName("Analyzer")
+			var m vmpi.Map
+			if err := sess.MapPartitions(an.ID, vmpi.MapRoundRobin, &m); err != nil {
+				fail(err)
+				return
+			}
+			st := vmpi.NewStream(sess, blockSize, vmpi.BalanceRoundRobin)
+			if err := st.OpenMap(&m, "w"); err != nil {
+				fail(err)
+				return
+			}
+			for i := 0; i < blocks; i++ {
+				if err := st.Write(nil, blockSize); err != nil {
+					fail(err)
+					return
+				}
+			}
+			if err := st.Close(); err != nil {
+				fail(err)
+			}
+			stalls += st.Stats().WriteStalls
+		}},
+		mpi.Program{Name: "Analyzer", Cmdline: "./analyzer", Procs: readers, Main: func(r *mpi.Rank) {
+			sess := layout.Init(r)
+			var m vmpi.Map
+			for pid := 0; pid < sess.Layout().PartitionCount(); pid++ {
+				if pid == sess.PartitionID() {
+					continue
+				}
+				if err := sess.MapPartitions(pid, vmpi.MapRoundRobin, &m); err != nil {
+					fail(err)
+					return
+				}
+			}
+			st := vmpi.NewStream(sess, blockSize, vmpi.BalanceRoundRobin)
+			if err := st.OpenMap(&m, "r"); err != nil {
+				fail(err)
+				return
+			}
+			for {
+				blk, err := st.Read(false)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if blk == nil {
+					break
+				}
+			}
+			if err := st.Close(); err != nil {
+				fail(err)
+			}
+		}},
+	)
+	layout = vmpi.NewLayout(w)
+	if err := w.Run(); err != nil {
+		return StreamPoint{}, err
+	}
+	if runErr != nil {
+		return StreamPoint{}, runErr
+	}
+	total := int64(writers) * int64(blocks) * blockSize
+	secs := w.ProgramFinish(1).Seconds()
+	return StreamPoint{
+		Writers: writers, Readers: readers, Ratio: ratio,
+		Bytes: total, Seconds: secs,
+		Throughput:  float64(total) / secs,
+		FSShare:     p.FSShare(writers),
+		WriteStalls: stalls,
+	}, nil
+}
+
+// StreamSweep runs StreamThroughput over the cross product of writer
+// counts and ratios (skipping ratios larger than the writer count).
+func StreamSweep(p Platform, writerCounts, ratios []int, perWriter, blockSize int64) ([]StreamPoint, error) {
+	var out []StreamPoint
+	for _, nw := range writerCounts {
+		for _, ratio := range ratios {
+			if ratio > nw {
+				continue
+			}
+			pt, err := StreamThroughput(p, nw, ratio, perWriter, blockSize)
+			if err != nil {
+				return out, fmt.Errorf("exp: stream point writers=%d ratio=%d: %w", nw, ratio, err)
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// WriteStreamTable prints a sweep as the series of Figure 14.
+func WriteStreamTable(w io.Writer, points []StreamPoint) {
+	fmt.Fprintf(w, "# Figure 14: VMPI stream global throughput vs writer/reader ratio\n")
+	fmt.Fprintf(w, "%8s %8s %6s %14s %14s %10s\n",
+		"writers", "readers", "ratio", "GB/s", "fs-share GB/s", "stalls")
+	for _, pt := range points {
+		fmt.Fprintf(w, "%8d %8d %6d %14.2f %14.2f %10d\n",
+			pt.Writers, pt.Readers, pt.Ratio, pt.Throughput/1e9, pt.FSShare/1e9, pt.WriteStalls)
+	}
+}

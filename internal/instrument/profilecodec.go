@@ -1,0 +1,120 @@
+package instrument
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Encode serializes the profile as a compact binary table (kind, hits,
+// time, bytes per entry, sorted by kind for determinism). It is the wire
+// format used when profiles are merged across processes — for example by
+// a TBON reduction filter or a final gather.
+func (p CallProfile) Encode() []byte {
+	kinds := make([]trace.Kind, 0, len(p))
+	for k := range p {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	buf := make([]byte, 4+len(kinds)*25)
+	binary.LittleEndian.PutUint32(buf, uint32(len(kinds)))
+	off := 4
+	for _, k := range kinds {
+		st := p[k]
+		buf[off] = byte(k)
+		binary.LittleEndian.PutUint64(buf[off+1:], uint64(st.Hits))
+		binary.LittleEndian.PutUint64(buf[off+9:], uint64(st.TimeNs))
+		binary.LittleEndian.PutUint64(buf[off+17:], uint64(st.Bytes))
+		off += 25
+	}
+	return buf
+}
+
+// DecodeCallProfile parses a buffer produced by Encode.
+func DecodeCallProfile(buf []byte) (CallProfile, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("instrument: profile buffer too short (%d bytes)", len(buf))
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	if len(buf) < 4+n*25 {
+		return nil, fmt.Errorf("instrument: profile buffer truncated: %d entries need %d bytes, have %d",
+			n, 4+n*25, len(buf))
+	}
+	p := make(CallProfile, n)
+	off := 4
+	for i := 0; i < n; i++ {
+		k := trace.Kind(buf[off])
+		p[k] = &CallStats{
+			Hits:   int64(binary.LittleEndian.Uint64(buf[off+1:])),
+			TimeNs: int64(binary.LittleEndian.Uint64(buf[off+9:])),
+			Bytes:  int64(binary.LittleEndian.Uint64(buf[off+17:])),
+		}
+		off += 25
+	}
+	return p, nil
+}
+
+// MergeProfile folds another profile into p.
+func (p CallProfile) MergeProfile(o CallProfile) {
+	for k, st := range o {
+		dst := p[k]
+		if dst == nil {
+			dst = &CallStats{}
+			p[k] = dst
+		}
+		dst.Hits += st.Hits
+		dst.TimeNs += st.TimeNs
+		dst.Bytes += st.Bytes
+	}
+}
+
+// MergeEncodedProfiles is a TBON-style reduction filter: it decodes each
+// input profile, folds them together with own, and re-encodes. Undecodable
+// inputs panic — a filter bug, not a recoverable condition.
+func MergeEncodedProfiles(children [][]byte, own []byte) []byte {
+	acc, err := DecodeCallProfile(own)
+	if err != nil {
+		panic(fmt.Sprintf("instrument: merge filter: %v", err))
+	}
+	for _, c := range children {
+		p, err := DecodeCallProfile(c)
+		if err != nil {
+			panic(fmt.Sprintf("instrument: merge filter: %v", err))
+		}
+		acc.MergeProfile(p)
+	}
+	return acc.Encode()
+}
+
+// WriteReport renders the profile as an mpiP-style text table (sorted by
+// accumulated time), the output of purely-online tools the paper cites.
+func (p CallProfile) WriteReport(w io.Writer, title string) error {
+	kinds := p.Kinds()
+	sort.Slice(kinds, func(i, j int) bool { return p[kinds[i]].TimeNs > p[kinds[j]].TimeNs })
+	var totalTime, totalHits int64
+	for _, k := range kinds {
+		totalTime += p[k].TimeNs
+		totalHits += p[k].Hits
+	}
+	if _, err := fmt.Fprintf(w, "@ %s --- %d calls, %v total\n", title, totalHits,
+		time.Duration(totalTime)); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-16s %10s %14s %7s %14s\n", "call", "hits", "time", "time%", "bytes")
+	for _, k := range kinds {
+		st := p[k]
+		pct := 0.0
+		if totalTime > 0 {
+			pct = 100 * float64(st.TimeNs) / float64(totalTime)
+		}
+		if _, err := fmt.Fprintf(w, "%-16s %10d %14v %6.1f%% %14d\n",
+			k, st.Hits, time.Duration(st.TimeNs), pct, st.Bytes); err != nil {
+			return err
+		}
+	}
+	return nil
+}

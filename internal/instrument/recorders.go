@@ -1,0 +1,490 @@
+package instrument
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/mpi"
+	"repro/internal/simfs"
+	"repro/internal/trace"
+	"repro/internal/vmpi"
+)
+
+// costMeter charges a fixed CPU cost per event against a rank's virtual
+// time. Charges are batched (default 10 µs granularity) so a million-event
+// run does not pay a million scheduler round-trips; the accumulated virtual
+// time is identical.
+type costMeter struct {
+	rank    *mpi.Rank
+	per     time.Duration
+	pending time.Duration
+	grain   time.Duration
+}
+
+func newCostMeter(r *mpi.Rank, per time.Duration) costMeter {
+	return costMeter{rank: r, per: per, grain: 10 * time.Microsecond}
+}
+
+func (c *costMeter) charge() {
+	if c.per <= 0 {
+		return
+	}
+	c.pending += c.per
+	if c.pending >= c.grain {
+		c.rank.Compute(c.pending)
+		c.pending = 0
+	}
+}
+
+func (c *costMeter) chargeN(n int) {
+	if c.per <= 0 || n <= 0 {
+		return
+	}
+	c.pending += time.Duration(n) * c.per
+	if c.pending >= c.grain {
+		c.rank.Compute(c.pending)
+		c.pending = 0
+	}
+}
+
+func (c *costMeter) settle() {
+	if c.pending > 0 {
+		c.rank.Compute(c.pending)
+		c.pending = 0
+	}
+}
+
+// CallStats aggregates one call kind in a local profile.
+type CallStats struct {
+	// Hits counts calls.
+	Hits int64
+	// TimeNs accumulates call durations in nanoseconds.
+	TimeNs int64
+	// Bytes accumulates payload sizes.
+	Bytes int64
+}
+
+// CallProfile is a per-rank reduction of events by call kind (what a purely
+// online tool like mpiP keeps).
+type CallProfile map[trace.Kind]*CallStats
+
+// Add folds one event into the profile.
+func (p CallProfile) Add(ev *trace.Event) {
+	st := p[ev.Kind]
+	if st == nil {
+		st = &CallStats{}
+		p[ev.Kind] = st
+	}
+	st.Hits++
+	st.TimeNs += ev.Duration()
+	st.Bytes += ev.Size
+}
+
+// Kinds returns the profiled kinds sorted by name (stable report order).
+func (p CallProfile) Kinds() []trace.Kind {
+	out := make([]trace.Kind, 0, len(p))
+	for k := range p {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// --- Online recorder (the paper's tool) ---
+
+// OnlineConfig parameterizes an OnlineRecorder.
+type OnlineConfig struct {
+	// AppID tags packs with the producing application (blackboard level).
+	AppID uint32
+	// RecordSize is the per-event record size (context padding included).
+	RecordSize int
+	// PackBytes is the pack/stream block size (the paper uses ≈1 MB).
+	PackBytes int
+	// PerEventCost is the CPU cost of intercepting and encoding one event.
+	PerEventCost time.Duration
+	// SizeOnly streams block sizes without materializing payload bytes
+	// (for large overhead sweeps where the analyzer models, rather than
+	// decodes, its input).
+	SizeOnly bool
+}
+
+// DefaultOnlineConfig returns the calibration used by the experiments:
+// 1 MB blocks, 256-byte events (the 48-byte record plus call context), and
+// a 150 ns interception cost.
+func DefaultOnlineConfig(appID uint32) OnlineConfig {
+	return OnlineConfig{
+		AppID:        appID,
+		RecordSize:   256,
+		PackBytes:    1 << 20,
+		PerEventCost: 150 * time.Nanosecond,
+	}
+}
+
+// OnlineRecorder packs events and writes them to a VMPI stream. Its
+// overhead is its per-event cost plus whatever back-pressure the stream
+// applies when the analyzer or the network cannot keep up.
+type OnlineRecorder struct {
+	sess     *vmpi.Session
+	stream   *vmpi.Stream
+	builder  *trace.PackBuilder
+	cost     costMeter
+	sizeOnly bool
+	produced int64
+	events   int64
+	closed   bool
+
+	// Size-only fast path: no encoding, just byte accounting.
+	recordSize int
+	packBytes  int
+	pendBytes  int
+}
+
+// NewOnlineRecorder wraps an already-open writer stream.
+func NewOnlineRecorder(sess *vmpi.Session, stream *vmpi.Stream, cfg OnlineConfig) *OnlineRecorder {
+	o := &OnlineRecorder{
+		sess:       sess,
+		stream:     stream,
+		cost:       newCostMeter(sess.Rank(), cfg.PerEventCost),
+		sizeOnly:   cfg.SizeOnly,
+		recordSize: cfg.RecordSize,
+		packBytes:  cfg.PackBytes,
+	}
+	if o.recordSize < trace.MinRecordSize {
+		o.recordSize = trace.MinRecordSize
+	}
+	if !cfg.SizeOnly {
+		o.builder = trace.NewPackBuilder(cfg.AppID, int32(sess.LocalRank()), cfg.RecordSize, cfg.PackBytes)
+	}
+	return o
+}
+
+// AttachOnline maps the session's partition to the named analyzer
+// partition (round-robin), opens a write stream over the map and returns a
+// recorder on it — the whole coupling sequence of the paper's Figure 11.
+func AttachOnline(sess *vmpi.Session, analyzer string, cfg OnlineConfig) (*OnlineRecorder, error) {
+	part := sess.Layout().DescByName(analyzer)
+	if part == nil {
+		return nil, fmt.Errorf("instrument: could not locate %q partition", analyzer)
+	}
+	var m vmpi.Map
+	if err := sess.MapPartitions(part.ID, vmpi.MapRoundRobin, &m); err != nil {
+		return nil, err
+	}
+	st := vmpi.NewStream(sess, int64(cfg.PackBytes), vmpi.BalanceRoundRobin)
+	if err := st.OpenMap(&m, "w"); err != nil {
+		return nil, err
+	}
+	return NewOnlineRecorder(sess, st, cfg), nil
+}
+
+// Name implements Recorder.
+func (o *OnlineRecorder) Name() string { return "online-coupling" }
+
+// BytesProduced implements Recorder.
+func (o *OnlineRecorder) BytesProduced() int64 { return o.produced }
+
+// Events returns the number of events recorded.
+func (o *OnlineRecorder) Events() int64 { return o.events }
+
+// Record implements Recorder.
+func (o *OnlineRecorder) Record(ev *trace.Event) {
+	o.cost.charge()
+	o.events++
+	if o.sizeOnly {
+		// Fast path: overhead experiments observe virtual time only, so
+		// the pack is accounted, not encoded.
+		if o.pendBytes == 0 {
+			o.pendBytes = trace.PackHeaderSize
+		}
+		o.pendBytes += o.recordSize
+		if o.pendBytes+o.recordSize > o.packBytes {
+			o.flush()
+		}
+		return
+	}
+	if o.builder.Add(ev) {
+		o.flush()
+	}
+}
+
+func (o *OnlineRecorder) flush() {
+	var payload []byte
+	var size int64
+	if o.sizeOnly {
+		if o.pendBytes == 0 {
+			return
+		}
+		size = int64(o.pendBytes)
+		o.pendBytes = 0
+	} else {
+		payload = o.builder.Take()
+		if payload == nil {
+			return
+		}
+		size = int64(len(payload))
+	}
+	o.produced += size
+	o.cost.settle()
+	if err := o.stream.Write(payload, size); err != nil {
+		panic(fmt.Sprintf("instrument: stream write failed: %v", err))
+	}
+}
+
+// Finalize implements Recorder: it flushes the last pack and closes the
+// stream (waiting for the analyzer to acknowledge all in-flight blocks).
+func (o *OnlineRecorder) Finalize() {
+	if o.closed {
+		return
+	}
+	o.closed = true
+	o.flush()
+	o.cost.settle()
+	if err := o.stream.Close(); err != nil {
+		panic(fmt.Sprintf("instrument: stream close failed: %v", err))
+	}
+}
+
+// --- SIONlib-style shared trace files ---
+
+// SIONSet maps ranks onto a reduced number of physical trace files, like
+// SIONlib's task-local files: ranksPerFile ranks share one physical file,
+// cutting metadata pressure while keeping one logical stream per rank. The
+// set is shared per job; the first rank to touch a physical file pays its
+// creation (in its own virtual time).
+type SIONSet struct {
+	fs           *simfs.FS
+	ranksPerFile int
+	prefix       string
+	fds          map[int]int
+}
+
+// NewSIONSet creates a file set on fs. ranksPerFile < 1 means one file per
+// rank (the classic one-file-per-process layout the paper's Figure 1
+// criticizes).
+func NewSIONSet(fs *simfs.FS, ranksPerFile int, prefix string) *SIONSet {
+	if ranksPerFile < 1 {
+		ranksPerFile = 1
+	}
+	return &SIONSet{fs: fs, ranksPerFile: ranksPerFile, prefix: prefix, fds: make(map[int]int)}
+}
+
+// FD returns the physical file descriptor for a rank, creating the file on
+// first touch; done is when the (possible) creation completes.
+func (s *SIONSet) FD(rank int, now des.Time) (fd int, done des.Time) {
+	slot := rank / s.ranksPerFile
+	if fd, ok := s.fds[slot]; ok {
+		return fd, now
+	}
+	fd, done = s.fs.Create(now, fmt.Sprintf("%s.%06d.sion", s.prefix, slot))
+	s.fds[slot] = fd
+	return fd, done
+}
+
+// Files reports how many physical files were created.
+func (s *SIONSet) Files() int { return len(s.fds) }
+
+// --- Trace recorder (Score-P trace + SIONlib baseline) ---
+
+// TraceConfig parameterizes a TraceRecorder.
+type TraceConfig struct {
+	// RecordSize is the per-event record size in the trace.
+	RecordSize int
+	// BufferBytes is the in-memory event buffer flushed to the filesystem
+	// when full (Score-P's default chunk is a few MB).
+	BufferBytes int64
+	// PerEventCost is the CPU cost of one event measurement + encode.
+	PerEventCost time.Duration
+}
+
+// DefaultTraceConfig mirrors Score-P's defaults: 4 MB buffers, 80-byte OTF2
+// records, 200 ns per event.
+func DefaultTraceConfig() TraceConfig {
+	return TraceConfig{RecordSize: 80, BufferBytes: 4 << 20, PerEventCost: 200 * time.Nanosecond}
+}
+
+// TraceRecorder buffers events and writes them through the shared
+// filesystem model; its overhead is per-event cost plus filesystem stalls,
+// which grow with scale as the prorated bandwidth saturates — the paper's
+// explanation for Figure 16.
+type TraceRecorder struct {
+	rank     *mpi.Rank
+	fs       *simfs.FS
+	set      *SIONSet
+	cfg      TraceConfig
+	cost     costMeter
+	fd       int
+	haveFD   bool
+	buffered int64
+	produced int64
+	stalled  time.Duration
+}
+
+// NewTraceRecorder creates a trace recorder writing through the given
+// SIONlib-style file set.
+func NewTraceRecorder(r *mpi.Rank, fs *simfs.FS, set *SIONSet, cfg TraceConfig) *TraceRecorder {
+	if cfg.RecordSize < trace.MinRecordSize {
+		cfg.RecordSize = trace.MinRecordSize
+	}
+	return &TraceRecorder{rank: r, fs: fs, set: set, cfg: cfg, cost: newCostMeter(r, cfg.PerEventCost), fd: -1}
+}
+
+// Name implements Recorder.
+func (t *TraceRecorder) Name() string { return "scorep-trace-sionlib" }
+
+// BytesProduced implements Recorder.
+func (t *TraceRecorder) BytesProduced() int64 { return t.produced }
+
+// Stalled reports the total virtual time spent waiting on the filesystem.
+func (t *TraceRecorder) Stalled() time.Duration { return t.stalled }
+
+// Record implements Recorder.
+func (t *TraceRecorder) Record(ev *trace.Event) {
+	t.cost.charge()
+	t.buffered += int64(t.cfg.RecordSize)
+	if t.buffered >= t.cfg.BufferBytes {
+		t.flush()
+	}
+}
+
+func (t *TraceRecorder) ensureFD() {
+	if t.haveFD {
+		return
+	}
+	fd, done := t.set.FD(t.rank.Global(), t.rank.Now())
+	t.fd = fd
+	t.haveFD = true
+	if wait := done - t.rank.Now(); wait > 0 {
+		t.stalled += wait.Duration()
+		t.rank.Compute(wait.Duration())
+	}
+}
+
+func (t *TraceRecorder) flush() {
+	if t.buffered == 0 {
+		return
+	}
+	t.cost.settle()
+	t.ensureFD()
+	done, err := t.fs.Write(t.rank.Now(), t.fd, t.buffered)
+	if err != nil {
+		panic(fmt.Sprintf("instrument: trace flush failed: %v", err))
+	}
+	t.produced += t.buffered
+	t.buffered = 0
+	if wait := done - t.rank.Now(); wait > 0 {
+		t.stalled += wait.Duration()
+		t.rank.Compute(wait.Duration())
+	}
+}
+
+// Finalize implements Recorder.
+func (t *TraceRecorder) Finalize() {
+	t.flush()
+	t.cost.settle()
+}
+
+// --- Profile recorder (Score-P profile / mpiP baseline) ---
+
+// ProfileConfig parameterizes a ProfileRecorder.
+type ProfileConfig struct {
+	// PerEventCost is the cost of updating the in-memory profile.
+	PerEventCost time.Duration
+	// DumpBytes is the size of the final per-rank profile dump.
+	DumpBytes int64
+}
+
+// DefaultProfileConfig mirrors a lightweight runtime profile: 80 ns per
+// event, 64 KB dump.
+func DefaultProfileConfig() ProfileConfig {
+	return ProfileConfig{PerEventCost: 80 * time.Nanosecond, DumpBytes: 64 << 10}
+}
+
+// ProfileRecorder reduces events locally (hits/time/bytes per call kind)
+// and writes one small dump at the end.
+type ProfileRecorder struct {
+	rank     *mpi.Rank
+	fs       *simfs.FS
+	cfg      ProfileConfig
+	cost     costMeter
+	name     string
+	profile  CallProfile
+	produced int64
+}
+
+// NewProfileRecorder creates a profiling recorder. fs may be nil (no final
+// dump cost).
+func NewProfileRecorder(r *mpi.Rank, fs *simfs.FS, name string, cfg ProfileConfig) *ProfileRecorder {
+	return &ProfileRecorder{
+		rank: r, fs: fs, cfg: cfg, name: name,
+		cost:    newCostMeter(r, cfg.PerEventCost),
+		profile: make(CallProfile),
+	}
+}
+
+// Name implements Recorder.
+func (p *ProfileRecorder) Name() string { return p.name }
+
+// BytesProduced implements Recorder.
+func (p *ProfileRecorder) BytesProduced() int64 { return p.produced }
+
+// Profile exposes the local reduction (for reports and tests).
+func (p *ProfileRecorder) Profile() CallProfile { return p.profile }
+
+// Record implements Recorder.
+func (p *ProfileRecorder) Record(ev *trace.Event) {
+	p.cost.charge()
+	p.profile.Add(ev)
+}
+
+// Finalize implements Recorder. Like Score-P and Scalasca, per-rank
+// profiles are reduced toward the root at finalize and a single report is
+// written: only program rank 0 touches the filesystem.
+func (p *ProfileRecorder) Finalize() {
+	p.cost.settle()
+	if p.rank.ProgramRank() != 0 {
+		return
+	}
+	p.produced += p.cfg.DumpBytes
+	if p.fs != nil {
+		fd, done := p.fs.Create(p.rank.Now(), fmt.Sprintf("%s.prof", p.name))
+		if wait := done - p.rank.Now(); wait > 0 {
+			p.rank.Compute(wait.Duration())
+		}
+		if done, err := p.fs.Write(p.rank.Now(), fd, p.cfg.DumpBytes); err == nil {
+			if wait := done - p.rank.Now(); wait > 0 {
+				p.rank.Compute(wait.Duration())
+			}
+		}
+		p.fs.Close(p.rank.Now(), fd)
+	}
+}
+
+// NewScalascaRecorder models Scalasca's runtime summarization: call-path
+// management makes events dearer than a flat profile, and the final
+// report is larger.
+func NewScalascaRecorder(r *mpi.Rank, fs *simfs.FS) *ProfileRecorder {
+	return NewProfileRecorder(r, fs, "scalasca", ProfileConfig{
+		PerEventCost: 350 * time.Nanosecond,
+		DumpBytes:    512 << 10,
+	})
+}
+
+// NullRecorder counts events and nothing else (wrapper-overhead testing).
+type NullRecorder struct {
+	// EventsSeen counts Record calls.
+	EventsSeen int64
+}
+
+// Name implements Recorder.
+func (n *NullRecorder) Name() string { return "null" }
+
+// Record implements Recorder.
+func (n *NullRecorder) Record(*trace.Event) { n.EventsSeen++ }
+
+// Finalize implements Recorder.
+func (n *NullRecorder) Finalize() {}
+
+// BytesProduced implements Recorder.
+func (n *NullRecorder) BytesProduced() int64 { return 0 }

@@ -1,0 +1,228 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/des"
+)
+
+// Ssend performs a synchronous-mode send: it returns only once the
+// receiver has matched the message (posted a matching receive). Unlike the
+// eager standard-mode Send, Ssend exposes late receivers to the sender —
+// useful for workloads (and wait-state analyses) where send-side blocking
+// matters.
+func (r *Rank) Ssend(c *Comm, dst, tag int, size int64, payload []byte) {
+	r.overhead()
+	w := r.world
+	srcLocal := c.LocalOf(r.global)
+	if srcLocal < 0 {
+		panic("mpi: Ssend on a communicator the sender is not a member of")
+	}
+	if dst < 0 || dst >= c.Size() {
+		panic(fmt.Sprintf("mpi: Ssend to invalid rank %d of comm size %d", dst, c.Size()))
+	}
+	dstGlobal := c.Global(dst)
+	_, delivered := w.net.Transfer(r.Now(), r.global, dstGlobal, size+w.cfg.Envelope)
+	msg := &message{srcLocal: srcLocal, tag: tag, comm: c.id, size: size, payload: payload, syncer: r.proc}
+	target := w.ranks[dstGlobal]
+	w.sim.At(delivered, func() {
+		target.mailbox = append(target.mailbox, msg)
+		target.arrivalSeq++
+		target.arrival.Broadcast()
+	})
+	// Park until the receiver matches the message.
+	r.proc.Park(fmt.Sprintf("ssend(dst=%d tag=%d comm=%d)", dst, tag, c.id))
+}
+
+// Probe blocks until a message matching (src, tag) is available on c and
+// returns its status without receiving it.
+func (r *Rank) Probe(c *Comm, src, tag int) Status {
+	r.overhead()
+	for {
+		seq := r.ArrivalSeq()
+		if ok, st := r.Iprobe(c, src, tag); ok {
+			return st
+		}
+		r.WaitArrival(seq, fmt.Sprintf("probe(src=%d tag=%d comm=%d)", src, tag, c.id))
+	}
+}
+
+// splitState coordinates one Comm.Split instance.
+type splitState struct {
+	arrived int
+	entries []splitEntry
+	waiters []*Rank
+	comms   map[int]*Comm
+}
+
+type splitEntry struct {
+	color, key, global int
+}
+
+// Split partitions the communicator by color, ordering each new
+// communicator by (key, old rank) — the semantics of MPI_Comm_split. Every
+// member of c must call it; a negative color (MPI_UNDEFINED) yields nil.
+func (r *Rank) Split(c *Comm, color, key int) *Comm {
+	r.overhead()
+	me := c.LocalOf(r.global)
+	if me < 0 {
+		panic("mpi: Split on a communicator the caller is not a member of")
+	}
+	w := r.world
+	seq := c.collSeq[me]
+	c.collSeq[me]++
+	skey := collKey{comm: c.id, seq: seq}
+	st := w.splits[skey]
+	if st == nil {
+		st = &splitState{}
+		w.splits[skey] = st
+	}
+	st.arrived++
+	st.entries = append(st.entries, splitEntry{color: color, key: key, global: r.global})
+	if st.arrived < c.Size() {
+		st.waiters = append(st.waiters, r)
+		r.proc.Park(fmt.Sprintf("MPI_Comm_split(comm=%d seq=%d)", c.id, seq))
+	} else {
+		// Last arrival builds the communicators for everyone.
+		st.comms = make(map[int]*Comm)
+		byColor := map[int][]splitEntry{}
+		for _, e := range st.entries {
+			if e.color >= 0 {
+				byColor[e.color] = append(byColor[e.color], e)
+			}
+		}
+		colors := make([]int, 0, len(byColor))
+		for col := range byColor {
+			colors = append(colors, col)
+		}
+		sort.Ints(colors)
+		for _, col := range colors {
+			entries := byColor[col]
+			sort.Slice(entries, func(i, j int) bool {
+				if entries[i].key != entries[j].key {
+					return entries[i].key < entries[j].key
+				}
+				return entries[i].global < entries[j].global
+			})
+			globals := make([]int, len(entries))
+			for i, e := range entries {
+				globals[i] = e.global
+			}
+			st.comms[col] = w.NewComm(globals)
+		}
+		// The split costs one barrier-like synchronization.
+		done := r.Now() + des.DurationToTime(collCost(CollBarrier, c.Size(), 0, w.cfg))
+		for _, waiter := range st.waiters {
+			p := waiter.proc
+			w.sim.At(done, func() { p.Unpark() })
+		}
+		delete(w.splits, skey)
+		r.proc.SleepUntil(done)
+	}
+	// Every caller holds st (closure), including the waiters woken above.
+	return st.commFor(r.global)
+}
+
+// commFor returns the communicator containing the given global rank, or
+// nil (undefined color).
+func (st *splitState) commFor(global int) *Comm {
+	for _, c := range st.comms {
+		if c.LocalOf(global) >= 0 {
+			return c
+		}
+	}
+	return nil
+}
+
+// ReduceScatter models a reduce-scatter of size bytes per rank.
+func (r *Rank) ReduceScatter(c *Comm, size int64) { r.collective(c, CollReduceScatter, size) }
+
+// Scan models an inclusive prefix reduction of size bytes.
+func (r *Rank) Scan(c *Comm, size int64) { r.collective(c, CollScan, size) }
+
+// Waitany blocks until at least one of the requests completes and returns
+// its index (like MPI_Waitany). Completed-and-consumed requests must not
+// be passed again.
+func (r *Rank) Waitany(reqs []*Request) int {
+	r.overhead()
+	if len(reqs) == 0 {
+		panic("mpi: Waitany with no requests")
+	}
+	for {
+		seq := r.ArrivalSeq()
+		earliest, at := -1, des.Time(0)
+		for i, req := range reqs {
+			if req == nil || req.waited {
+				continue
+			}
+			if req.rank != r {
+				panic("mpi: Waitany on a request owned by another rank")
+			}
+			if req.isSend {
+				// Send requests complete at injection; pick the soonest.
+				if earliest < 0 || req.doneAt < at {
+					earliest, at = i, req.doneAt
+				}
+				continue
+			}
+			if req.matched != nil || r.tryMatch(req) {
+				req.waited = true
+				return i
+			}
+		}
+		if earliest >= 0 {
+			req := reqs[earliest]
+			if req.doneAt > r.Now() {
+				r.proc.SleepUntil(req.doneAt)
+			}
+			req.waited = true
+			return earliest
+		}
+		r.WaitArrival(seq, "waitany")
+	}
+}
+
+// PersistentRequest is a reusable communication descriptor, like the
+// handles created by MPI_Send_init / MPI_Recv_init; the NAS solvers set
+// these up once and Start them every iteration.
+type PersistentRequest struct {
+	rank    *Rank
+	comm    *Comm
+	isSend  bool
+	peer    int
+	tag     int
+	size    int64
+	payload []byte
+}
+
+// SendInit creates a persistent send descriptor.
+func (r *Rank) SendInit(c *Comm, dst, tag int, size int64, payload []byte) *PersistentRequest {
+	if dst < 0 || dst >= c.Size() {
+		panic(fmt.Sprintf("mpi: SendInit to invalid rank %d of comm size %d", dst, c.Size()))
+	}
+	return &PersistentRequest{rank: r, comm: c, isSend: true, peer: dst, tag: tag, size: size, payload: payload}
+}
+
+// RecvInit creates a persistent receive descriptor.
+func (r *Rank) RecvInit(c *Comm, src, tag int) *PersistentRequest {
+	return &PersistentRequest{rank: r, comm: c, peer: src, tag: tag}
+}
+
+// Start activates the persistent request and returns the live request to
+// wait on, like MPI_Start.
+func (p *PersistentRequest) Start() *Request {
+	if p.isSend {
+		return p.rank.Isend(p.comm, p.peer, p.tag, p.size, p.payload)
+	}
+	return p.rank.Irecv(p.comm, p.peer, p.tag)
+}
+
+// Startall activates several persistent requests (MPI_Startall).
+func Startall(ps []*PersistentRequest) []*Request {
+	out := make([]*Request, len(ps))
+	for i, p := range ps {
+		out[i] = p.Start()
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package nas
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/instrument"
+)
+
+// The paper evaluates BT, CG, FT, LU, SP and EulerMHD; the remaining NAS
+// kernels below (MG, EP, IS) complete the suite for downstream users of
+// the workload library. They follow the same skeleton rules: real process
+// geometry, per-iteration communication pattern, calibrated compute model.
+
+// MG builds the V-cycle multigrid kernel skeleton: per iteration, a
+// descent and ascent over grid levels with 4-neighbour halo exchanges
+// whose sizes shrink by 4× per level, plus coarse-grid reductions.
+func MG(class Class, procs, iters int) (*Workload, error) {
+	if !isPow2(procs) {
+		return nil, fmt.Errorf("nas: MG requires a power-of-two process count, got %d", procs)
+	}
+	var n, full int
+	switch class {
+	case ClassA:
+		n, full = 256, 4
+	case ClassB:
+		n, full = 256, 20
+	case ClassC:
+		n, full = 512, 20
+	case ClassD:
+		n, full = 1024, 50
+	default:
+		return nil, fmt.Errorf("nas: unsupported class %q", string(class))
+	}
+	if iters <= 0 {
+		iters = full
+	}
+	px, py := grid2D(procs)
+	levels := log2int(n) - 2
+	return &Workload{
+		Name:      fmt.Sprintf("MG.%s", string(class)),
+		Procs:     procs,
+		Iters:     iters,
+		FullIters: full,
+		Run: func(m *instrument.MPI) {
+			me := m.Rank()
+			i, j := me/py, me%py
+			lx, ly := chunk(n, px, i), chunk(n, py, j)
+			// ~40 flops per point per V-cycle across all levels (the
+			// geometric level sum converges to ~8/7 of the finest).
+			computePerIter := secondsOfFlops(40 * float64(lx) * float64(ly) * float64(n) * 8 / 7)
+			computePerIter = time.Duration(float64(computePerIter) * jitter(m))
+			north, south, west, east := -1, -1, -1, -1
+			if i > 0 {
+				north = (i-1)*py + j
+			}
+			if i < px-1 {
+				south = (i+1)*py + j
+			}
+			if j > 0 {
+				west = i*py + (j - 1)
+			}
+			if j < py-1 {
+				east = i*py + (j + 1)
+			}
+			m.Init()
+			for it := 0; it < iters; it++ {
+				// Descent then ascent: two halo sweeps per level, face
+				// sizes shrinking 4x per level (3-D surface halved per
+				// dimension).
+				for pass := 0; pass < 2; pass++ {
+					for l := 0; l < levels; l++ {
+						shrink := int64(1) << uint(2*l)
+						fx := int64(8*ly*n) / shrink
+						fy := int64(8*lx*n) / shrink
+						if fx < 8 {
+							fx = 8
+						}
+						if fy < 8 {
+							fy = 8
+						}
+						var peers []int
+						var sizes []int64
+						if north >= 0 {
+							peers, sizes = append(peers, north), append(sizes, fx)
+						}
+						if south >= 0 {
+							peers, sizes = append(peers, south), append(sizes, fx)
+						}
+						if west >= 0 {
+							peers, sizes = append(peers, west), append(sizes, fy)
+						}
+						if east >= 0 {
+							peers, sizes = append(peers, east), append(sizes, fy)
+						}
+						m.ExchangeGroup(peers, 500+l, sizes, 1)
+					}
+					m.Compute(computePerIter / 2)
+				}
+				// Coarse-grid solve: a reduction.
+				m.Allreduce(8)
+			}
+			m.Finalize()
+		},
+	}, nil
+}
+
+// EP builds the embarrassingly-parallel kernel skeleton: almost pure
+// computation (Gaussian pair generation) with three final reductions —
+// the benchmark that should show near-zero instrumentation overhead.
+func EP(class Class, procs, iters int) (*Workload, error) {
+	var mExp float64
+	switch class {
+	case ClassA:
+		mExp = 28
+	case ClassB:
+		mExp = 30
+	case ClassC:
+		mExp = 32
+	case ClassD:
+		mExp = 36
+	default:
+		return nil, fmt.Errorf("nas: unsupported class %q", string(class))
+	}
+	const full = 1
+	if iters <= 0 {
+		iters = full
+	}
+	totalFlops := math.Pow(2, mExp) * 50
+	return &Workload{
+		Name:      fmt.Sprintf("EP.%s", string(class)),
+		Procs:     procs,
+		Iters:     iters,
+		FullIters: full,
+		Run: func(m *instrument.MPI) {
+			compute := secondsOfFlops(totalFlops / float64(m.Size()) / float64(iters))
+			compute = time.Duration(float64(compute) * jitter(m))
+			m.Init()
+			for it := 0; it < iters; it++ {
+				m.Compute(compute)
+				// sx, sy and the 10-bin annulus counts.
+				m.Allreduce(8)
+				m.Allreduce(8)
+				m.Allreduce(80)
+			}
+			m.Finalize()
+		},
+	}, nil
+}
+
+// IS builds the integer-sort kernel skeleton: per iteration, local bucket
+// counting, an Alltoall key redistribution and a verification scan.
+func IS(class Class, procs, iters int) (*Workload, error) {
+	if !isPow2(procs) {
+		return nil, fmt.Errorf("nas: IS requires a power-of-two process count, got %d", procs)
+	}
+	var keysExp, full int
+	switch class {
+	case ClassA:
+		keysExp, full = 23, 10
+	case ClassB:
+		keysExp, full = 25, 10
+	case ClassC:
+		keysExp, full = 27, 10
+	case ClassD:
+		keysExp, full = 31, 10
+	default:
+		return nil, fmt.Errorf("nas: unsupported class %q", string(class))
+	}
+	if iters <= 0 {
+		iters = full
+	}
+	totalKeys := float64(int64(1) << uint(keysExp))
+	return &Workload{
+		Name:      fmt.Sprintf("IS.%s", string(class)),
+		Procs:     procs,
+		Iters:     iters,
+		FullIters: full,
+		Run: func(m *instrument.MPI) {
+			p := float64(m.Size())
+			// Counting sort is ~10 ops per key per pass.
+			compute := secondsOfFlops(10 * totalKeys / p)
+			compute = time.Duration(float64(compute) * jitter(m))
+			// Every key (4 bytes) is redistributed once per iteration.
+			perPair := int64(4 * totalKeys / p / p)
+			if perPair < 1 {
+				perPair = 1
+			}
+			m.Init()
+			for it := 0; it < iters; it++ {
+				m.Compute(compute)
+				// Bucket-size exchange then the key redistribution.
+				m.Allreduce(int64(4 * 1024))
+				m.Alltoall(perPair)
+				// Partial verification.
+				m.Allreduce(8)
+			}
+			m.Finalize()
+		},
+	}, nil
+}

@@ -1,0 +1,145 @@
+// Package service embodies the paper's concluding vision: "a truly
+// machine wide server which could provide profiling as a service". Jobs
+// (instrumented application launches) are submitted to a persistent
+// profiling service; each runs coupled to an analysis partition, and the
+// service accumulates machine-wide metrics across jobs — the
+// "centralisation of profiling metrics" the paper's §III-C says a
+// batch-manager-embedded implementation cannot offer.
+//
+// Within this reproduction the service is an in-process object: the
+// simulated jobs it runs are isolated MPMD worlds, while the service's
+// own bookkeeping (job history, cumulative counters, the shared analysis
+// engine sizing) lives across jobs, exactly the persistence the paper is
+// after. A network front-end would wrap Submit without changing anything
+// below it.
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/nas"
+	"repro/internal/report"
+)
+
+// Job is one profiling request.
+type Job struct {
+	// Workloads are the applications to run concurrently in one coupled
+	// MPMD launch (multi-instrumentation).
+	Workloads []*nas.Workload
+	// Options forwards analysis options (wait-state, temporal windows...).
+	Options exp.ProfileOptions
+}
+
+// Result is one completed job.
+type Result struct {
+	// ID is the job's submission number, starting at 1.
+	ID int
+	// Report is the per-application profiling report.
+	Report *report.Report
+	// Events is the total number of events analysed.
+	Events int64
+	// AppSeconds sums the applications' virtual wall times.
+	AppSeconds float64
+}
+
+// Stats is the service's cumulative view across jobs.
+type Stats struct {
+	// Jobs counts completed jobs.
+	Jobs int
+	// Applications counts profiled applications across jobs.
+	Applications int
+	// Events counts analysed events across jobs.
+	Events int64
+	// AppSeconds sums application virtual wall time across jobs.
+	AppSeconds float64
+	// PerBenchmark counts profiled applications by name.
+	PerBenchmark map[string]int
+}
+
+// Service is a persistent profiling front-end.
+type Service struct {
+	platform exp.Platform
+
+	mu      sync.Mutex
+	nextID  int
+	history []Result
+	stats   Stats
+}
+
+// New creates a service on the given platform model.
+func New(p exp.Platform) *Service {
+	return &Service{platform: p, stats: Stats{PerBenchmark: map[string]int{}}}
+}
+
+// Submit runs one job to completion and returns its result. Submissions
+// are serialized (the service owns one analysis allocation, like the
+// paper's statically assigned resources); concurrent callers queue.
+func (s *Service) Submit(job Job) (Result, error) {
+	if len(job.Workloads) == 0 {
+		return Result{}, fmt.Errorf("service: empty job")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep, err := exp.ProfileRun(s.platform, job.Workloads, job.Options)
+	if err != nil {
+		return Result{}, fmt.Errorf("service: job failed: %w", err)
+	}
+	s.nextID++
+	res := Result{ID: s.nextID, Report: rep}
+	for _, ch := range rep.Chapters {
+		res.Events += ch.Profiler.Events()
+		res.AppSeconds += ch.WallTime.Seconds()
+		s.stats.PerBenchmark[ch.App]++
+	}
+	s.stats.Jobs++
+	s.stats.Applications += len(rep.Chapters)
+	s.stats.Events += res.Events
+	s.stats.AppSeconds += res.AppSeconds
+	s.history = append(s.history, res)
+	return res, nil
+}
+
+// Stats returns a copy of the cumulative counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.stats
+	out.PerBenchmark = make(map[string]int, len(s.stats.PerBenchmark))
+	for k, v := range s.stats.PerBenchmark {
+		out.PerBenchmark[k] = v
+	}
+	return out
+}
+
+// History returns the completed jobs in submission order.
+func (s *Service) History() []Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Result(nil), s.history...)
+}
+
+// WriteSummary renders the service's machine-wide view: the cross-job
+// metric centralisation of the paper's conclusion.
+func (s *Service) WriteSummary(w interface{ Write([]byte) (int, error) }) error {
+	st := s.Stats()
+	if _, err := fmt.Fprintf(w, "profiling service on %s: %d job(s), %d application(s), %d events, %s application time\n",
+		s.platform.Name, st.Jobs, st.Applications, st.Events,
+		time.Duration(st.AppSeconds*float64(time.Second))); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(st.PerBenchmark))
+	for n := range st.PerBenchmark {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "  %-12s profiled %d time(s)\n", n, st.PerBenchmark[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package service
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/nas"
+)
+
+func smallJob(t *testing.T, kind string, procs int) Job {
+	t.Helper()
+	w, err := nas.ByName(kind, nas.ClassC, procs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Job{Workloads: []*nas.Workload{w}, Options: exp.ProfileOptions{Analyzers: 1, Workers: 2}}
+}
+
+func TestSubmitAccumulates(t *testing.T) {
+	s := New(exp.Tera100())
+	r1, err := s.Submit(smallJob(t, "LU", 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ID != 1 || r1.Events == 0 || r1.AppSeconds <= 0 {
+		t.Fatalf("result = %+v", r1)
+	}
+	r2, err := s.Submit(smallJob(t, "CG", 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.ID != 2 {
+		t.Fatalf("second id = %d", r2.ID)
+	}
+	st := s.Stats()
+	if st.Jobs != 2 || st.Applications != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Events != r1.Events+r2.Events {
+		t.Fatalf("events = %d, want %d", st.Events, r1.Events+r2.Events)
+	}
+	if st.PerBenchmark["LU.C"] != 1 || st.PerBenchmark["CG.C"] != 1 {
+		t.Fatalf("per-benchmark = %v", st.PerBenchmark)
+	}
+	if h := s.History(); len(h) != 2 || h[0].ID != 1 {
+		t.Fatalf("history = %d entries", len(h))
+	}
+}
+
+func TestMultiAppJob(t *testing.T) {
+	lu, err := nas.LU(nas.ClassC, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := nas.CG(nas.ClassC, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(exp.Tera100())
+	res, err := s.Submit(Job{Workloads: []*nas.Workload{lu, cg}, Options: exp.ProfileOptions{Analyzers: 1, Workers: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Report.Chapters) != 2 {
+		t.Fatalf("chapters = %d", len(res.Report.Chapters))
+	}
+	if s.Stats().Applications != 2 {
+		t.Fatalf("apps = %d", s.Stats().Applications)
+	}
+}
+
+func TestEmptyJobRejected(t *testing.T) {
+	s := New(exp.Tera100())
+	if _, err := s.Submit(Job{}); err == nil {
+		t.Fatal("empty job accepted")
+	}
+}
+
+func TestConcurrentSubmissionsSerialize(t *testing.T) {
+	s := New(exp.Tera100())
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = s.Submit(smallJob(t, "EP", 4))
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.Jobs != 4 || st.PerBenchmark["EP.C"] != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// IDs are unique and dense.
+	seen := map[int]bool{}
+	for _, r := range s.History() {
+		seen[r.ID] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("ids = %v", seen)
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	s := New(exp.Curie())
+	if _, err := s.Submit(smallJob(t, "FT", 4)); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := s.WriteSummary(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Curie", "1 job(s)", "FT.C"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

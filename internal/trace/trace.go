@@ -1,0 +1,348 @@
+// Package trace defines the instrumentation event model: fixed-layout
+// binary event records and the packs that batch them for streaming.
+//
+// The paper deliberately keeps the event representation simple — "the C
+// structure is directly sent" — in contrast to structured trace formats
+// like OTF2. This package mirrors that: an Event is a fixed-size
+// little-endian record, a pack is a small header followed by consecutive
+// records, and encoding is a straight byte copy with no compression or
+// framing beyond the pack header.
+//
+// Records can be padded beyond the minimal 48 bytes (RecordSize) to model
+// the call context the paper attaches to each event (call sites, stack
+// digests); the padding participates in every bandwidth computation, so the
+// instrumentation data volume is a first-class experimental parameter.
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Kind identifies the instrumented call an event records.
+type Kind uint8
+
+// Event kinds: the MPI calls the instrumentation layer intercepts, plus the
+// POSIX I/O calls the paper's density-map module covers.
+const (
+	KindInvalid Kind = iota
+	KindSend
+	KindRecv
+	KindIsend
+	KindIrecv
+	KindWait
+	KindWaitall
+	KindSendrecv
+	KindProbe
+	KindBarrier
+	KindBcast
+	KindReduce
+	KindAllreduce
+	KindGather
+	KindAllgather
+	KindAlltoall
+	KindInit
+	KindFinalize
+	KindPosixOpen
+	KindPosixRead
+	KindPosixWrite
+	KindPosixClose
+	kindCount // sentinel
+)
+
+var kindNames = [...]string{
+	KindInvalid:    "invalid",
+	KindSend:       "MPI_Send",
+	KindRecv:       "MPI_Recv",
+	KindIsend:      "MPI_Isend",
+	KindIrecv:      "MPI_Irecv",
+	KindWait:       "MPI_Wait",
+	KindWaitall:    "MPI_Waitall",
+	KindSendrecv:   "MPI_Sendrecv",
+	KindProbe:      "MPI_Iprobe",
+	KindBarrier:    "MPI_Barrier",
+	KindBcast:      "MPI_Bcast",
+	KindReduce:     "MPI_Reduce",
+	KindAllreduce:  "MPI_Allreduce",
+	KindGather:     "MPI_Gather",
+	KindAllgather:  "MPI_Allgather",
+	KindAlltoall:   "MPI_Alltoall",
+	KindInit:       "MPI_Init",
+	KindFinalize:   "MPI_Finalize",
+	KindPosixOpen:  "open",
+	KindPosixRead:  "read",
+	KindPosixWrite: "write",
+	KindPosixClose: "close",
+}
+
+// String returns the instrumented call's name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Kinds returns every valid event kind, in declaration order.
+func Kinds() []Kind {
+	out := make([]Kind, 0, int(kindCount)-1)
+	for k := KindSend; k < kindCount; k++ {
+		out = append(out, k)
+	}
+	return out
+}
+
+// IsP2P reports whether the kind is a point-to-point data movement
+// (something the topology module turns into a matrix entry).
+func (k Kind) IsP2P() bool {
+	switch k {
+	case KindSend, KindRecv, KindIsend, KindIrecv, KindSendrecv:
+		return true
+	}
+	return false
+}
+
+// IsOutgoingP2P reports whether the kind moves data away from the caller.
+func (k Kind) IsOutgoingP2P() bool {
+	switch k {
+	case KindSend, KindIsend, KindSendrecv:
+		return true
+	}
+	return false
+}
+
+// IsCollective reports whether the kind is a collective operation.
+func (k Kind) IsCollective() bool {
+	switch k {
+	case KindBarrier, KindBcast, KindReduce, KindAllreduce, KindGather, KindAllgather, KindAlltoall:
+		return true
+	}
+	return false
+}
+
+// IsWait reports whether the kind is a completion-wait call.
+func (k Kind) IsWait() bool { return k == KindWait || k == KindWaitall }
+
+// IsPosix reports whether the kind is a POSIX I/O call.
+func (k Kind) IsPosix() bool {
+	switch k {
+	case KindPosixOpen, KindPosixRead, KindPosixWrite, KindPosixClose:
+		return true
+	}
+	return false
+}
+
+// Event is one instrumented call. Times are virtual nanoseconds since the
+// start of the run.
+type Event struct {
+	// Kind is the instrumented call.
+	Kind Kind
+	// Rank is the caller's rank within its (virtualized) application world.
+	Rank int32
+	// Peer is the remote rank for point-to-point calls, the root for
+	// rooted collectives, or -1.
+	Peer int32
+	// Tag is the message tag, or -1.
+	Tag int32
+	// Comm identifies the communicator.
+	Comm uint32
+	// Ctx is a call-site/context identifier.
+	Ctx uint32
+	// Size is the payload byte count moved by the call (0 when n/a).
+	Size int64
+	// TStart and TEnd bound the call in virtual nanoseconds.
+	TStart int64
+	// TEnd is the call's completion time.
+	TEnd int64
+}
+
+// Duration returns the call's duration in nanoseconds.
+func (e *Event) Duration() int64 { return e.TEnd - e.TStart }
+
+// MinRecordSize is the exact byte size of the binary event structure; packs
+// may pad each record up to their RecordSize to model richer per-event
+// context.
+const MinRecordSize = 48
+
+// encodeRecord writes the event into buf (len >= MinRecordSize).
+func encodeRecord(buf []byte, e *Event) {
+	buf[0] = byte(e.Kind)
+	buf[1], buf[2], buf[3] = 0, 0, 0
+	binary.LittleEndian.PutUint32(buf[4:], uint32(e.Rank))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(e.Peer))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(e.Tag))
+	binary.LittleEndian.PutUint32(buf[16:], e.Comm)
+	binary.LittleEndian.PutUint32(buf[20:], e.Ctx)
+	binary.LittleEndian.PutUint64(buf[24:], uint64(e.Size))
+	binary.LittleEndian.PutUint64(buf[32:], uint64(e.TStart))
+	binary.LittleEndian.PutUint64(buf[40:], uint64(e.TEnd))
+}
+
+// decodeRecord reads an event from buf (len >= MinRecordSize).
+func decodeRecord(buf []byte, e *Event) {
+	e.Kind = Kind(buf[0])
+	e.Rank = int32(binary.LittleEndian.Uint32(buf[4:]))
+	e.Peer = int32(binary.LittleEndian.Uint32(buf[8:]))
+	e.Tag = int32(binary.LittleEndian.Uint32(buf[12:]))
+	e.Comm = binary.LittleEndian.Uint32(buf[16:])
+	e.Ctx = binary.LittleEndian.Uint32(buf[20:])
+	e.Size = int64(binary.LittleEndian.Uint64(buf[24:]))
+	e.TStart = int64(binary.LittleEndian.Uint64(buf[32:]))
+	e.TEnd = int64(binary.LittleEndian.Uint64(buf[40:]))
+}
+
+// Pack framing.
+const (
+	packMagic = 0x544d5056 // "VPMT" little-endian
+	// PackHeaderSize is the encoded pack header size in bytes; a pack
+	// occupies PackHeaderSize + Count*RecordSize bytes.
+	PackHeaderSize = 24
+)
+
+// Header describes a decoded pack.
+type Header struct {
+	// AppID identifies the instrumented application (blackboard level).
+	AppID uint32
+	// SrcRank is the producing process's rank within its application.
+	SrcRank int32
+	// Count is the number of event records in the pack.
+	Count int
+	// RecordSize is the per-record byte size (>= MinRecordSize).
+	RecordSize int
+}
+
+// PackBuilder accumulates events into a bounded binary pack. When the pack
+// is full the caller takes the encoded bytes (Take) and streams them; the
+// builder then starts a fresh pack. The zero value is not usable — use
+// NewPackBuilder.
+type PackBuilder struct {
+	appID      uint32
+	srcRank    int32
+	recordSize int
+	capBytes   int
+	buf        []byte
+	count      int
+}
+
+// NewPackBuilder creates a builder producing packs of at most packBytes
+// bytes with the given per-record size. recordSize below MinRecordSize is
+// raised to it; packBytes is raised to fit at least one record.
+func NewPackBuilder(appID uint32, srcRank int32, recordSize, packBytes int) *PackBuilder {
+	if recordSize < MinRecordSize {
+		recordSize = MinRecordSize
+	}
+	if packBytes < PackHeaderSize+recordSize {
+		packBytes = PackHeaderSize + recordSize
+	}
+	b := &PackBuilder{
+		appID:      appID,
+		srcRank:    srcRank,
+		recordSize: recordSize,
+		capBytes:   packBytes,
+	}
+	b.reset()
+	return b
+}
+
+func (b *PackBuilder) reset() {
+	b.buf = make([]byte, PackHeaderSize, b.capBytes)
+	b.count = 0
+}
+
+// RecordSize returns the per-record size in bytes.
+func (b *PackBuilder) RecordSize() int { return b.recordSize }
+
+// Count returns the number of events in the pack under construction.
+func (b *PackBuilder) Count() int { return b.count }
+
+// Len returns the current encoded size of the pack under construction.
+func (b *PackBuilder) Len() int { return len(b.buf) }
+
+// Add appends an event and reports whether the pack is now full (no room
+// for another record).
+func (b *PackBuilder) Add(e *Event) bool {
+	off := len(b.buf)
+	if need := off + b.recordSize; need <= cap(b.buf) {
+		// The backing array comes zeroed from make and record padding is
+		// never written, so reslicing suffices.
+		b.buf = b.buf[:need]
+	} else {
+		b.buf = append(b.buf, make([]byte, b.recordSize)...)
+	}
+	encodeRecord(b.buf[off:], e)
+	b.count++
+	return len(b.buf)+b.recordSize > b.capBytes
+}
+
+// Take finalizes the pack under construction and returns its encoded bytes
+// (nil if it holds no events), then starts a fresh pack.
+func (b *PackBuilder) Take() []byte {
+	if b.count == 0 {
+		return nil
+	}
+	binary.LittleEndian.PutUint32(b.buf[0:], packMagic)
+	binary.LittleEndian.PutUint32(b.buf[4:], b.appID)
+	binary.LittleEndian.PutUint32(b.buf[8:], uint32(b.srcRank))
+	binary.LittleEndian.PutUint32(b.buf[12:], uint32(b.count))
+	binary.LittleEndian.PutUint32(b.buf[16:], uint32(b.recordSize))
+	binary.LittleEndian.PutUint32(b.buf[20:], 0)
+	out := b.buf
+	b.reset()
+	return out
+}
+
+// PeekHeader decodes just the pack header (for dispatching without a full
+// decode).
+func PeekHeader(buf []byte) (Header, error) {
+	if len(buf) < PackHeaderSize {
+		return Header{}, fmt.Errorf("trace: pack of %d bytes is shorter than the header", len(buf))
+	}
+	if binary.LittleEndian.Uint32(buf) != packMagic {
+		return Header{}, fmt.Errorf("trace: bad pack magic %#x", binary.LittleEndian.Uint32(buf))
+	}
+	h := Header{
+		AppID:      binary.LittleEndian.Uint32(buf[4:]),
+		SrcRank:    int32(binary.LittleEndian.Uint32(buf[8:])),
+		Count:      int(binary.LittleEndian.Uint32(buf[12:])),
+		RecordSize: int(binary.LittleEndian.Uint32(buf[16:])),
+	}
+	if h.RecordSize < MinRecordSize {
+		return Header{}, fmt.Errorf("trace: record size %d below minimum %d", h.RecordSize, MinRecordSize)
+	}
+	if want := PackHeaderSize + h.Count*h.RecordSize; len(buf) < want {
+		return Header{}, fmt.Errorf("trace: pack truncated: %d bytes, header implies %d", len(buf), want)
+	}
+	return h, nil
+}
+
+// DecodePack decodes a pack into its header and events.
+func DecodePack(buf []byte) (Header, []Event, error) {
+	h, err := PeekHeader(buf)
+	if err != nil {
+		return h, nil, err
+	}
+	events := make([]Event, h.Count)
+	off := PackHeaderSize
+	for i := range events {
+		decodeRecord(buf[off:], &events[i])
+		off += h.RecordSize
+	}
+	return h, events, nil
+}
+
+// DecodeEach decodes a pack, invoking fn per event without materializing a
+// slice (the analyzer's unpacker uses this on the hot path).
+func DecodeEach(buf []byte, fn func(e *Event)) (Header, error) {
+	h, err := PeekHeader(buf)
+	if err != nil {
+		return h, err
+	}
+	off := PackHeaderSize
+	var e Event
+	for i := 0; i < h.Count; i++ {
+		decodeRecord(buf[off:], &e)
+		fn(&e)
+		off += h.RecordSize
+	}
+	return h, nil
+}

@@ -1,0 +1,436 @@
+package vmpi
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/mpi"
+)
+
+// Buffering constants from the paper's Figure 9: NA receive buffers per
+// incoming stream at each read endpoint, and NA output buffers shared
+// between all endpoints at each write endpoint ("primarily to limit memory
+// footprint" — block size tends to be large, ≈1 MB).
+const (
+	// NA is the number of asynchronous buffers per incoming stream on the
+	// read side; it is also the writer's per-endpoint credit window.
+	NA = 3
+	// NAOut is the number of output buffers shared across all endpoints on
+	// the write side: a writer never has more than NAOut unacknowledged
+	// blocks in flight in total.
+	NAOut = 3
+)
+
+// ErrAgain is returned by non-blocking reads when no block is available yet
+// (the paper's VMPI_EAGAIN).
+var ErrAgain = errors.New("vmpi: stream would block (EAGAIN)")
+
+// Stream mode bits. Streams "can be either multi- or uni-directional"
+// (paper §III-A): mode "rw" opens both halves over the same peer set, with
+// directions disambiguated by message source.
+const (
+	modeR byte = 1 << iota
+	modeW
+)
+
+// BalancePolicy selects how a stream endpoint distributes its operations
+// over multiple remote endpoints.
+type BalancePolicy int
+
+// Stream balancing policies ("three basic policies are proposed: none,
+// random, round-robin", possibly different at the two endpoints).
+const (
+	// BalanceNone always prefers the first endpoint in mapping order.
+	BalanceNone BalancePolicy = iota
+	// BalanceRandom picks endpoints uniformly at random.
+	BalanceRandom
+	// BalanceRoundRobin cycles over endpoints.
+	BalanceRoundRobin
+)
+
+// Block is one unit of stream data received by a read endpoint.
+type Block struct {
+	// From is the universe rank of the writer.
+	From int
+	// Size is the block's payload size in bytes.
+	Size int64
+	// Payload holds the block's bytes; nil for size-only transfers (cost
+	// modeling without data, used by large overhead sweeps).
+	Payload []byte
+}
+
+// StreamStats accumulates per-endpoint counters.
+type StreamStats struct {
+	// BlocksWritten / BytesWritten count completed writes.
+	BlocksWritten int64
+	BytesWritten  int64
+	// BlocksRead / BytesRead count completed reads.
+	BlocksRead int64
+	BytesRead  int64
+	// WriteStalls counts writes that had to block waiting for credits —
+	// the paper's back-pressure, the mechanism behind instrumentation
+	// overhead when the analyzer cannot keep up.
+	WriteStalls int64
+	// EAGAINs counts non-blocking reads that found nothing.
+	EAGAINs int64
+}
+
+// Stream is a persistent asynchronous channel between this process and the
+// processes of a Map (the paper's VMPI_Stream). A stream is either a read
+// or a write endpoint, fixed at OpenMap time.
+type Stream struct {
+	sess      *Session
+	blockSize int64
+	policy    BalancePolicy
+	channel   int
+	mode      byte // mode bits (modeR | modeW), 0 before OpenMap
+
+	// Writer state.
+	peers       []int // reader universe ranks
+	credits     []int
+	rr          int
+	outstanding int
+
+	// Window sizes (default NA / NAOut).
+	na    int
+	naOut int
+
+	// Reader state.
+	writers []int // writer universe ranks
+	widx    map[int]int
+	closed  []bool
+	nClosed int
+	rrRead  int
+
+	stats StreamStats
+}
+
+// SetWindow overrides the stream's asynchronous buffer counts before
+// OpenMap: na receive buffers per incoming stream (the writer's
+// per-endpoint credit window) and naOut shared output buffers. The paper
+// fixes both at 3; making them configurable supports the buffering
+// ablation study.
+func (st *Stream) SetWindow(na, naOut int) {
+	if st.mode != 0 {
+		panic("vmpi: SetWindow after OpenMap")
+	}
+	if na < 1 || naOut < 1 {
+		panic("vmpi: stream windows must be at least 1")
+	}
+	st.na, st.naOut = na, naOut
+}
+
+// NewStream initializes a stream with the given block size and balancing
+// policy (the paper's VMPI_Stream_init). The stream carries blocks of at
+// most blockSize bytes.
+func NewStream(sess *Session, blockSize int64, policy BalancePolicy) *Stream {
+	if blockSize <= 0 {
+		panic("vmpi: stream block size must be positive")
+	}
+	return &Stream{sess: sess, blockSize: blockSize, policy: policy, na: NA, naOut: NAOut}
+}
+
+// SetChannel separates concurrent streams between the same process pairs:
+// both endpoints of a stream must use the same channel number (default 0).
+func (st *Stream) SetChannel(ch int) {
+	if st.mode != 0 {
+		panic("vmpi: SetChannel after OpenMap")
+	}
+	st.channel = ch
+}
+
+// Stats returns a copy of the endpoint's counters.
+func (st *Stream) Stats() StreamStats { return st.stats }
+
+// BlockSize returns the stream's block size.
+func (st *Stream) BlockSize() int64 { return st.blockSize }
+
+func (st *Stream) tagData() int   { return tagStreamBase + st.channel*4 }
+func (st *Stream) tagCredit() int { return tagStreamBase + st.channel*4 + 1 }
+func (st *Stream) tagClose() int  { return tagStreamBase + st.channel*4 + 2 }
+
+// OpenMap connects the stream to the processes of a map, as a writer
+// (mode "w") or reader (mode "r") endpoint — the paper's
+// VMPI_Stream_open_map.
+func (st *Stream) OpenMap(m *Map, mode string) error {
+	return st.OpenRanks(m.Targets(), mode)
+}
+
+// OpenRanks connects the stream directly to a set of universe ranks
+// ("streams can also be used between two arbitrary ranks").
+func (st *Stream) OpenRanks(peers []int, mode string) error {
+	if st.mode != 0 {
+		return errors.New("vmpi: stream already open")
+	}
+	if len(peers) == 0 {
+		return errors.New("vmpi: stream opened over an empty mapping")
+	}
+	switch mode {
+	case "w", "r", "rw":
+	default:
+		return fmt.Errorf("vmpi: invalid stream mode %q (want \"r\", \"w\" or \"rw\")", mode)
+	}
+	if strings.Contains(mode, "w") {
+		st.mode |= modeW
+		st.peers = append([]int(nil), peers...)
+		st.credits = make([]int, len(peers))
+		for i := range st.credits {
+			st.credits[i] = st.na
+		}
+	}
+	if strings.Contains(mode, "r") {
+		st.mode |= modeR
+		st.writers = append([]int(nil), peers...)
+		st.closed = make([]bool, len(peers))
+		st.widx = make(map[int]int, len(peers))
+		for i, w := range peers {
+			st.widx[w] = i
+		}
+	}
+	return nil
+}
+
+func (st *Stream) peerIndex(global int) int {
+	for i, p := range st.peers {
+		if p == global {
+			return i
+		}
+	}
+	return -1
+}
+
+// drainCredits consumes every credit message currently in the mailbox.
+func (st *Stream) drainCredits() {
+	r := st.sess.rank
+	u := st.sess.Universe()
+	for {
+		ok, _ := r.Iprobe(u, mpi.AnySource, st.tagCredit())
+		if !ok {
+			return
+		}
+		status, _ := r.Recv(u, mpi.AnySource, st.tagCredit())
+		i := st.peerIndex(status.Source)
+		if i < 0 {
+			panic(fmt.Sprintf("vmpi: credit from unmapped rank %d", status.Source))
+		}
+		st.credits[i]++
+		st.outstanding--
+	}
+}
+
+// awaitCredit blocks until one credit arrives.
+func (st *Stream) awaitCredit() {
+	r := st.sess.rank
+	u := st.sess.Universe()
+	status, _ := r.Recv(u, mpi.AnySource, st.tagCredit())
+	i := st.peerIndex(status.Source)
+	if i < 0 {
+		panic(fmt.Sprintf("vmpi: credit from unmapped rank %d", status.Source))
+	}
+	st.credits[i]++
+	st.outstanding--
+}
+
+// pickWritable selects the target endpoint for the next block according to
+// the balancing policy, or -1 if no endpoint has credit.
+func (st *Stream) pickWritable() int {
+	n := len(st.peers)
+	switch st.policy {
+	case BalanceNone:
+		// No balancing: stick to mapping order; endpoint i+1 is only used
+		// when 0..i are exhausted.
+		for i := 0; i < n; i++ {
+			if st.credits[i] > 0 {
+				return i
+			}
+		}
+	case BalanceRoundRobin:
+		for k := 0; k < n; k++ {
+			i := (st.rr + k) % n
+			if st.credits[i] > 0 {
+				return i
+			}
+		}
+	case BalanceRandom:
+		var avail []int
+		for i := 0; i < n; i++ {
+			if st.credits[i] > 0 {
+				avail = append(avail, i)
+			}
+		}
+		if len(avail) > 0 {
+			return avail[st.sess.rank.World().Sim().Rand().Intn(len(avail))]
+		}
+	}
+	return -1
+}
+
+// Write sends one block of the given size (payload may be nil for size-only
+// modeling, or a byte slice of length size). It is non-blocking until the
+// shared output buffers are full or every mapped endpoint's receive window
+// is exhausted, in which case it blocks until a credit returns — the
+// paper's producer/consumer adaptation window.
+func (st *Stream) Write(payload []byte, size int64) error {
+	if st.mode&modeW == 0 {
+		return errors.New("vmpi: Write on a non-writer stream")
+	}
+	if size > st.blockSize {
+		return fmt.Errorf("vmpi: block of %d bytes exceeds stream block size %d", size, st.blockSize)
+	}
+	if payload != nil && int64(len(payload)) != size {
+		return fmt.Errorf("vmpi: payload length %d does not match size %d", len(payload), size)
+	}
+	st.drainCredits()
+	var i int
+	for {
+		if st.outstanding < st.naOut {
+			if i = st.pickWritable(); i >= 0 {
+				break
+			}
+		}
+		st.stats.WriteStalls++
+		st.awaitCredit()
+	}
+	st.sess.rank.Send(st.sess.Universe(), st.peers[i], st.tagData(), size, payload)
+	st.credits[i]--
+	st.outstanding++
+	if st.policy == BalanceRoundRobin {
+		st.rr = (i + 1) % len(st.peers)
+	}
+	st.stats.BlocksWritten++
+	st.stats.BytesWritten += size
+	return nil
+}
+
+// readOrder returns the writer indices in the order the balancing policy
+// wants them probed.
+func (st *Stream) readOrder() []int {
+	n := len(st.writers)
+	order := make([]int, n)
+	switch st.policy {
+	case BalanceRoundRobin:
+		for k := 0; k < n; k++ {
+			order[k] = (st.rrRead + k) % n
+		}
+	case BalanceRandom:
+		for k := 0; k < n; k++ {
+			order[k] = k
+		}
+		rng := st.sess.rank.World().Sim().Rand()
+		rng.Shuffle(n, func(a, b int) { order[a], order[b] = order[b], order[a] })
+	default: // BalanceNone
+		for k := 0; k < n; k++ {
+			order[k] = k
+		}
+	}
+	return order
+}
+
+// exactPolicyLimit bounds the writer count for which the read side applies
+// its balancing policy by per-endpoint probing. Beyond it, blocks are
+// served in arrival order (which credit throttling makes round-robin-like
+// under uniform load) so that a single analyzer mapped to thousands of
+// writers stays O(1) per read instead of O(writers).
+const exactPolicyLimit = 16
+
+// Read returns the next available block. With nonblock set it returns
+// ErrAgain when nothing is ready (and tries the next endpoint per the
+// policy first, avoiding circular waits in multi-endpoint mode); otherwise
+// it blocks. A (nil, nil) return means every remote writer has closed the
+// stream — the paper's 0 return.
+func (st *Stream) Read(nonblock bool) (*Block, error) {
+	if st.mode&modeR == 0 {
+		return nil, errors.New("vmpi: Read on a non-reader stream")
+	}
+	r := st.sess.rank
+	u := st.sess.Universe()
+	for {
+		// Sample the delivery generation before probing: anything arriving
+		// during the probes keeps WaitArrival from parking.
+		seq := r.ArrivalSeq()
+		// Consume any close notifications first; the writer-side protocol
+		// guarantees all of a writer's data was acknowledged before its
+		// close, so this cannot skip data.
+		for {
+			ok, status := r.Iprobe(u, mpi.AnySource, st.tagClose())
+			if !ok {
+				break
+			}
+			r.Recv(u, status.Source, st.tagClose())
+			i, known := st.widx[status.Source]
+			if !known {
+				return nil, fmt.Errorf("vmpi: stream close from unmapped rank %d", status.Source)
+			}
+			if !st.closed[i] {
+				st.closed[i] = true
+				st.nClosed++
+			}
+		}
+		if blk := st.takeData(); blk != nil {
+			return blk, nil
+		}
+		if st.nClosed == len(st.writers) {
+			return nil, nil // all remote streams closed
+		}
+		if nonblock {
+			st.stats.EAGAINs++
+			return nil, ErrAgain
+		}
+		r.WaitArrival(seq, "vmpi stream read")
+	}
+}
+
+// takeData receives one pending data block according to the balancing
+// policy, or returns nil if none is pending.
+func (st *Stream) takeData() *Block {
+	r := st.sess.rank
+	u := st.sess.Universe()
+	if len(st.writers) > exactPolicyLimit {
+		ok, _ := r.Iprobe(u, mpi.AnySource, st.tagData())
+		if !ok {
+			return nil
+		}
+		status, payload := r.Recv(u, mpi.AnySource, st.tagData())
+		return st.finishRead(status, payload)
+	}
+	for _, i := range st.readOrder() {
+		if ok, _ := r.Iprobe(u, st.writers[i], st.tagData()); ok {
+			status, payload := r.Recv(u, st.writers[i], st.tagData())
+			if st.policy == BalanceRoundRobin {
+				st.rrRead = (i + 1) % len(st.writers)
+			}
+			return st.finishRead(status, payload)
+		}
+	}
+	return nil
+}
+
+// finishRead returns the receive buffer to the writer as a credit and
+// accounts the block.
+func (st *Stream) finishRead(status mpi.Status, payload []byte) *Block {
+	st.sess.rank.Send(st.sess.Universe(), status.Source, st.tagCredit(), 0, nil)
+	st.stats.BlocksRead++
+	st.stats.BytesRead += status.Size
+	return &Block{From: status.Source, Size: status.Size, Payload: payload}
+}
+
+// Close terminates the endpoint. A writer half first waits for every
+// in-flight block to be acknowledged and then notifies each mapped reader;
+// a reader half closes locally (the paper's VMPI_Stream_close). On a
+// duplex stream both halves close.
+func (st *Stream) Close() error {
+	if st.mode == 0 {
+		return errors.New("vmpi: Close on an unopened stream")
+	}
+	if st.mode&modeW != 0 {
+		for st.outstanding > 0 {
+			st.awaitCredit()
+		}
+		for _, p := range st.peers {
+			st.sess.rank.Send(st.sess.Universe(), p, st.tagClose(), 0, nil)
+		}
+	}
+	st.mode = 0
+	return nil
+}
