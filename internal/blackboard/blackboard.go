@@ -147,6 +147,10 @@ type Stats struct {
 	// OpPanics counts knowledge-source operations that panicked and were
 	// isolated.
 	OpPanics int64
+	// Dropped counts entries posted after Close and discarded. A closed
+	// board sheds load instead of crashing the poster: during a degraded
+	// shutdown the stream side may still be flushing blocks at it.
+	Dropped int64
 }
 
 // Blackboard is the parallel engine. Create with New, stop with Close.
@@ -170,6 +174,7 @@ type Blackboard struct {
 	jobsDone atomic.Int64
 	backoffs atomic.Int64
 	panics   atomic.Int64
+	dropped  atomic.Int64
 
 	seed atomic.Int64
 }
@@ -304,7 +309,12 @@ func (bb *Blackboard) Post(t Type, size int64, payload any) {
 // still governing writability).
 func (bb *Blackboard) PostEntry(e *Entry) {
 	if bb.closed.Load() {
-		panic("blackboard: Post after Close")
+		// A stopped board drops rather than panics: late posts are
+		// expected when an analyzer shuts down while writers are still
+		// draining in degraded mode.
+		bb.dropped.Add(1)
+		e.Release()
+		return
 	}
 	bb.posted.Add(1)
 	bb.mu.RLock()
@@ -478,6 +488,7 @@ func (bb *Blackboard) Stats() Stats {
 		Jobs:     bb.jobsDone.Load(),
 		Backoffs: bb.backoffs.Load(),
 		OpPanics: bb.panics.Load(),
+		Dropped:  bb.dropped.Load(),
 	}
 }
 

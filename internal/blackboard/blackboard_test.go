@@ -487,3 +487,18 @@ func TestFaultyKSIsolated(t *testing.T) {
 		t.Fatal("engine wedged after plugin panics")
 	}
 }
+
+func TestPostAfterCloseDropsAndCounts(t *testing.T) {
+	bb := New(Config{Workers: 1})
+	typ := TypeID("l", "late")
+	bb.Close()
+	e := NewEntry(typ, 1, nil)
+	bb.PostEntry(e) // must not panic
+	bb.Post(typ, 1, nil)
+	if got := bb.Stats().Dropped; got != 2 {
+		t.Fatalf("Dropped = %d, want 2", got)
+	}
+	if e.Refs() != 0 {
+		t.Fatalf("dropped entry holds %d refs, want 0 (reference released)", e.Refs())
+	}
+}

@@ -26,6 +26,23 @@ func ParseInts(s string) ([]int, error) {
 	return out, nil
 }
 
+// ParseFloats parses a comma-separated list of floats ("0.25,0.5,0.75").
+func ParseFloats(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("cliutil: empty float list")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("cliutil: bad float %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 // ParseBytes parses a byte size with an optional K/M/G suffix ("64M").
 func ParseBytes(s string) (int64, error) {
 	s = strings.TrimSpace(strings.ToUpper(s))

@@ -145,13 +145,15 @@ func (s *Simulator) After(d time.Duration, fn func()) {
 func (s *Simulator) At(at Time, fn func()) { s.schedule(at, fn) }
 
 // Proc is a simulated process. All its methods must be called from the
-// process's own goroutine (inside the function passed to Spawn).
+// process's own goroutine (inside the function passed to Spawn), except
+// Kill, which may be called from scheduler context or another process.
 type Proc struct {
 	sim    *Simulator
 	name   string
 	resume chan struct{}
 	parked bool
 	dead   bool
+	killed bool
 	// blockedOn is a human-readable description of the current blocking
 	// call, reported when the simulation deadlocks.
 	blockedOn string
@@ -159,6 +161,14 @@ type Proc struct {
 
 // Name returns the name the process was spawned with.
 func (p *Proc) Name() string { return p.name }
+
+// Dead reports whether the process has terminated (returned, panicked, or
+// been killed).
+func (p *Proc) Dead() bool { return p.dead }
+
+// Killed reports whether Kill has been requested on the process (it may
+// not have unwound yet).
+func (p *Proc) Killed() bool { return p.killed }
 
 // Sim returns the owning simulator.
 func (p *Proc) Sim() *Simulator { return p.sim }
@@ -180,15 +190,39 @@ func (s *Simulator) Spawn(name string, fn func(p *Proc)) *Proc {
 			s.live--
 			delete(s.procs, p)
 			if r := recover(); r != nil {
-				s.yield <- yieldMsg{done: true, panic: r}
-				return
+				if _, ok := r.(killSignal); !ok {
+					s.yield <- yieldMsg{done: true, panic: r}
+					return
+				}
 			}
 			s.yield <- yieldMsg{done: true}
 		}()
-		fn(p)
+		if !p.killed {
+			fn(p)
+		}
 	}()
 	s.schedule(s.now, func() { s.transfer(p) })
 	return p
+}
+
+// killSignal unwinds a killed process's stack from inside park. It is
+// recognized (and swallowed) by Spawn's recover, so a kill terminates the
+// process cleanly instead of surfacing as a simulation panic.
+type killSignal struct{}
+
+// Kill terminates the process at its next scheduling point: a parked or
+// sleeping process unwinds without ever resuming its blocking call, and a
+// process killed before its first transfer never runs. Killing a dead or
+// already-killed process is a no-op. Kill models fail-stop faults — the
+// process simply stops computing and communicating; any cleanup its stack
+// would have done does not happen.
+func (p *Proc) Kill() {
+	if p.dead || p.killed {
+		return
+	}
+	p.killed = true
+	s := p.sim
+	s.schedule(s.now, func() { s.transfer(p) })
 }
 
 // transfer hands the scheduler's control to p and waits until p parks or
@@ -205,12 +239,17 @@ func (s *Simulator) transfer(p *Proc) {
 	}
 }
 
-// park blocks the process until the scheduler transfers control back.
+// park blocks the process until the scheduler transfers control back. If
+// the process was killed while blocked, park never returns: the stack
+// unwinds via killSignal and Spawn's recover terminates the process.
 func (p *Proc) park(why string) {
 	p.parked = true
 	p.blockedOn = why
 	p.sim.yield <- yieldMsg{}
 	<-p.resume
+	if p.killed {
+		panic(killSignal{})
+	}
 	p.blockedOn = ""
 }
 
@@ -236,12 +275,14 @@ func (p *Proc) SleepUntil(at Time) {
 func (p *Proc) Park(why string) { p.park(why) }
 
 // Unpark schedules p to resume at the current virtual time. It must be
-// called from scheduler context or from another (currently running) process.
-// Unparking an already-runnable or dead process is a bug in the caller; it
-// would corrupt the rendezvous protocol, so Unpark panics in that case.
+// called from scheduler context or from another (currently running)
+// process. Unparking a dead process is a no-op: with fault injection a
+// process can die between a waker's decision and the wake (transfer
+// already guards against resuming the dead), so a stale wake must be
+// harmless rather than a panic.
 func (p *Proc) Unpark() {
 	if p.dead {
-		panic("des: Unpark of terminated process " + p.name)
+		return
 	}
 	s := p.sim
 	s.schedule(s.now, func() { s.transfer(p) })
@@ -300,15 +341,20 @@ func (c *Cond) Wait(p *Proc, why string) {
 	p.park(why)
 }
 
-// Signal wakes one waiting process, if any (FIFO order).
+// Signal wakes one waiting process, if any (FIFO order). Waiters that died
+// while parked (killed processes) are discarded so the signal is not lost
+// on a corpse.
 func (c *Cond) Signal() {
-	if len(c.waiters) == 0 {
+	for len(c.waiters) > 0 {
+		p := c.waiters[0]
+		copy(c.waiters, c.waiters[1:])
+		c.waiters = c.waiters[:len(c.waiters)-1]
+		if p.dead {
+			continue
+		}
+		p.Unpark()
 		return
 	}
-	p := c.waiters[0]
-	copy(c.waiters, c.waiters[1:])
-	c.waiters = c.waiters[:len(c.waiters)-1]
-	p.Unpark()
 }
 
 // Broadcast wakes every waiting process.

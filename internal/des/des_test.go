@@ -307,21 +307,110 @@ func TestProcPanicPropagates(t *testing.T) {
 	_ = s.Run()
 }
 
-func TestUnparkDeadProcPanics(t *testing.T) {
+func TestUnparkDeadProcIsNoop(t *testing.T) {
+	// With fault injection a process can die between a waker's decision and
+	// the wake, so a stale Unpark must be harmless.
 	s := New(1)
 	var target *Proc
 	target = s.Spawn("shortlived", func(p *Proc) {})
 	s.Spawn("waker", func(p *Proc) {
 		p.Sleep(time.Millisecond) // target has terminated by now
-		defer func() {
-			if recover() == nil {
-				t.Error("Unpark of dead proc should panic")
-			}
-		}()
 		target.Unpark()
 	})
 	if err := s.Run(); err != nil {
 		t.Fatal(err)
+	}
+	if !target.Dead() {
+		t.Fatal("target should be dead")
+	}
+}
+
+func TestKillParkedProc(t *testing.T) {
+	s := New(1)
+	var victim *Proc
+	resumed := false
+	victim = s.Spawn("victim", func(p *Proc) {
+		p.Park("waiting forever")
+		resumed = true
+	})
+	s.Spawn("killer", func(p *Proc) {
+		p.Sleep(2 * time.Millisecond)
+		victim.Kill()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err) // the kill must clear the would-be deadlock
+	}
+	if resumed {
+		t.Fatal("killed process must not resume past its blocking call")
+	}
+	if !victim.Dead() || !victim.Killed() {
+		t.Fatalf("victim dead=%v killed=%v, want true/true", victim.Dead(), victim.Killed())
+	}
+}
+
+func TestKillSleepingProcStopsClock(t *testing.T) {
+	s := New(1)
+	var victim *Proc
+	victim = s.Spawn("victim", func(p *Proc) {
+		p.Sleep(time.Hour)
+	})
+	s.Spawn("killer", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		victim.Kill()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The victim's hour-long sleep event still fires (and is ignored), so
+	// the clock runs to the hour mark, but the victim is long dead.
+	if !victim.Dead() {
+		t.Fatal("victim should be dead")
+	}
+}
+
+func TestKillBeforeFirstRun(t *testing.T) {
+	s := New(1)
+	ran := false
+	p := s.Spawn("stillborn", func(p *Proc) { ran = true })
+	p.Kill()
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("a process killed before its first transfer must not run")
+	}
+	if !p.Dead() {
+		t.Fatal("killed process should be dead")
+	}
+}
+
+func TestKillCondWaiterThenSignal(t *testing.T) {
+	// A Signal after a waiter died must not be lost on the corpse: the next
+	// live waiter gets it.
+	s := New(1)
+	var c Cond
+	var first *Proc
+	secondWoke := false
+	first = s.Spawn("first", func(p *Proc) {
+		c.Wait(p, "first wait")
+		t.Error("killed waiter must not wake")
+	})
+	s.Spawn("second", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		c.Wait(p, "second wait")
+		secondWoke = true
+	})
+	s.Spawn("driver", func(p *Proc) {
+		p.Sleep(2 * time.Millisecond)
+		first.Kill()
+		p.Sleep(time.Millisecond)
+		c.Signal()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !secondWoke {
+		t.Fatal("signal was lost on a dead waiter")
 	}
 }
 

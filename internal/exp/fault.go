@@ -1,0 +1,230 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/instrument"
+	"repro/internal/mpi"
+	"repro/internal/nas"
+	"repro/internal/vmpi"
+)
+
+// FaultPoint is one measurement of the online coupling under analyzer
+// failure: a fraction of the analysis partition is crashed at a fraction
+// of the healthy run time, and the instrumented application keeps going on
+// the surviving endpoints (or its local fallback profile).
+type FaultPoint struct {
+	// Bench, Procs, Ratio identify the workload and coupling shape.
+	Bench string
+	Procs int
+	Ratio int
+	// Analyzers is the analysis partition size; Killed of them crash.
+	Analyzers, Killed int
+	// FailFrac is when the crash strikes, as a fraction of the healthy
+	// instrumented run time.
+	FailFrac float64
+	// RefSeconds, HealthySeconds, Seconds are the uninstrumented,
+	// fault-free-instrumented and faulty-instrumented wall times.
+	RefSeconds, HealthySeconds, Seconds float64
+	// OverheadPct is the faulty run's overhead over the reference.
+	OverheadPct float64
+	// SlowdownVsHealthy is the faulty overhead divided by the healthy
+	// overhead (1 = faults cost nothing; the degraded modes are built to
+	// keep this bounded).
+	SlowdownVsHealthy float64
+	// CompletenessPct is the fraction of the healthy run's measurement
+	// bytes that still reached an analyzer.
+	CompletenessPct float64
+	// Failovers, Quarantines, BlocksDropped aggregate the app-side stream
+	// health counters.
+	Failovers, Quarantines, BlocksDropped int64
+	// FellBack counts app ranks that abandoned the stream for a local
+	// profile (every such rank still delivered one).
+	FellBack int
+}
+
+// faultRun is one instrumented execution with optional analyzer crashes.
+type faultRun struct {
+	seconds  float64
+	analyzed int64 // bytes that reached an analyzer
+	produced int64
+	stats    vmpi.StreamStats
+	fellBack int
+}
+
+// runOnlineFaulty is runOnlineCost with failure-aware coupling: writers
+// get a write deadline and failover endpoints spanning the whole analysis
+// partition, analyzers read from every potential writer, and killN
+// analyzer ranks are crashed at killAt. killN = 0 measures the healthy
+// baseline with identical plumbing.
+func runOnlineFaulty(p Platform, w *nas.Workload, ratio int, deadline time.Duration, killAt des.Time, killN int, seed int64) (faultRun, error) {
+	analyzers := Readers(w.Procs, ratio)
+	if killN > analyzers {
+		killN = analyzers
+	}
+	var layout *vmpi.Layout
+	var runErr error
+	var res faultRun
+	fail := func(err error) {
+		if runErr == nil {
+			runErr = err
+		}
+	}
+	cfg := p.MPIConfig(w.Procs + analyzers)
+	cfg.Seed = seed
+	world := mpi.NewWorld(cfg,
+		mpi.Program{Name: w.Name, Cmdline: "./" + w.Name, Procs: w.Procs, Main: func(r *mpi.Rank) {
+			sess := layout.Init(r)
+			m := instrument.New(r, sess.WorldComm())
+			cfg := instrument.OnlineConfig{
+				AppID:             uint32(sess.PartitionID()),
+				RecordSize:        EventRecordSize,
+				PackBytes:         StreamBlockSize,
+				PerEventCost:      OnlinePerEventCost,
+				SizeOnly:          true,
+				WriteDeadline:     deadline,
+				FailoverEndpoints: analyzers - 1,
+			}
+			rec, err := instrument.AttachOnline(sess, "Analyzer", cfg)
+			if err != nil {
+				fail(err)
+				return
+			}
+			m.SetRecorder(rec)
+			w.Run(m)
+			res.produced += rec.BytesProduced()
+			st := rec.StreamStats()
+			res.stats.Failovers += st.Failovers
+			res.stats.Quarantines += st.Quarantines
+			res.stats.BlocksDropped += st.BlocksDropped
+			if rec.FellBack() {
+				res.fellBack++
+			}
+		}},
+		mpi.Program{Name: "Analyzer", Cmdline: "./analyzer", Procs: analyzers, Main: func(r *mpi.Rank) {
+			sess := layout.Init(r)
+			var m vmpi.Map
+			var writers []int
+			for pid := 0; pid < sess.Layout().PartitionCount(); pid++ {
+				if pid == sess.PartitionID() {
+					continue
+				}
+				if err := sess.MapPartitions(pid, vmpi.MapRoundRobin, &m); err != nil {
+					fail(err)
+					return
+				}
+				writers = append(writers, sess.Layout().Partition(pid).Globals...)
+			}
+			// Any writer may fail over here, so the read stream spans the
+			// full application partition, not just the mapped writers.
+			st := vmpi.NewStream(sess, StreamBlockSize, vmpi.BalanceRoundRobin)
+			if err := st.OpenRanks(writers, "r"); err != nil {
+				fail(err)
+				return
+			}
+			for {
+				blk, err := st.Read(false)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if blk == nil {
+					break
+				}
+				res.analyzed += blk.Size
+				r.Compute(analysisCost(blk.Size))
+			}
+			st.Close()
+		}},
+	)
+	layout = vmpi.NewLayout(world)
+	for k := 0; k < killN; k++ {
+		world.FailRank(killAt, w.Procs+k)
+	}
+	if err := world.Run(); err != nil {
+		return faultRun{}, err
+	}
+	if runErr != nil {
+		return faultRun{}, runErr
+	}
+	res.seconds = world.ProgramFinish(0).Seconds()
+	return res, nil
+}
+
+// DefaultWriteDeadline is the back-pressure bound used by the fault
+// experiments: long against a healthy analyzer's block turnaround, short
+// against an application run.
+const DefaultWriteDeadline = 250 * time.Millisecond
+
+// FaultSweep measures the coupling's behavior under analyzer loss. For
+// each fraction in failFracs it crashes killN analyzer ranks at that
+// fraction of the healthy instrumented run time and reports overhead,
+// slowdown versus the fault-free coupling, and measurement completeness.
+// A deadline of 0 selects DefaultWriteDeadline (the seed's blocking
+// behavior is only reachable through the lower-level APIs).
+func FaultSweep(p Platform, w *nas.Workload, ratio int, failFracs []float64, killN int, deadline time.Duration) ([]FaultPoint, error) {
+	if deadline <= 0 {
+		deadline = DefaultWriteDeadline
+	}
+	if n := Readers(w.Procs, ratio); killN > n {
+		killN = n
+	}
+	ref, err := runReference(p, w)
+	if err != nil {
+		return nil, fmt.Errorf("exp: reference run of %s/%d: %w", w.Name, w.Procs, err)
+	}
+	healthy, err := runOnlineFaulty(p, w, ratio, deadline, 0, 0, 1)
+	if err != nil {
+		return nil, fmt.Errorf("exp: healthy coupled run of %s/%d: %w", w.Name, w.Procs, err)
+	}
+	analyzers := Readers(w.Procs, ratio)
+	var out []FaultPoint
+	for _, frac := range failFracs {
+		killAt := des.DurationToTime(time.Duration(frac * healthy.seconds * float64(time.Second)))
+		if killAt < des.DurationToTime(time.Millisecond) {
+			// The coupling handshake must finish before faults make sense;
+			// the map protocol is not fault-aware.
+			killAt = des.DurationToTime(time.Millisecond)
+		}
+		faulty, err := runOnlineFaulty(p, w, ratio, deadline, killAt, killN, 1)
+		if err != nil {
+			return out, fmt.Errorf("exp: faulty run of %s/%d at frac %.2f: %w", w.Name, w.Procs, frac, err)
+		}
+		pt := FaultPoint{
+			Bench: w.Name, Procs: w.Procs, Ratio: ratio,
+			Analyzers: analyzers, Killed: killN, FailFrac: frac,
+			RefSeconds:     ref,
+			HealthySeconds: healthy.seconds,
+			Seconds:        faulty.seconds,
+			OverheadPct:    100 * (faulty.seconds - ref) / ref,
+			Failovers:      faulty.stats.Failovers,
+			Quarantines:    faulty.stats.Quarantines,
+			BlocksDropped:  faulty.stats.BlocksDropped,
+			FellBack:       faulty.fellBack,
+		}
+		if healthyOvh := healthy.seconds - ref; healthyOvh > 1e-9 {
+			pt.SlowdownVsHealthy = (faulty.seconds - ref) / healthyOvh
+		}
+		if healthy.analyzed > 0 {
+			pt.CompletenessPct = 100 * float64(faulty.analyzed) / float64(healthy.analyzed)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// WriteFaultTable prints fault points as a report table.
+func WriteFaultTable(w io.Writer, title string, points []FaultPoint) {
+	fmt.Fprintf(w, "# %s\n", title)
+	fmt.Fprintf(w, "%-10s %6s %5s %9s %8s %8s %9s %9s %9s %9s %6s %6s %6s %5s\n",
+		"bench", "procs", "kill", "failfrac", "ref(s)", "run(s)", "ovh(%)", "slowdown", "compl(%)", "failover", "quar", "drops", "fell", "anlz")
+	for _, pt := range points {
+		fmt.Fprintf(w, "%-10s %6d %5d %9.2f %8.3f %8.3f %9.2f %9.2f %9.1f %9d %6d %6d %6d %5d\n",
+			pt.Bench, pt.Procs, pt.Killed, pt.FailFrac, pt.RefSeconds, pt.Seconds,
+			pt.OverheadPct, pt.SlowdownVsHealthy, pt.CompletenessPct,
+			pt.Failovers, pt.Quarantines, pt.BlocksDropped, pt.FellBack, pt.Analyzers)
+	}
+}

@@ -108,6 +108,14 @@ type OnlineConfig struct {
 	// (for large overhead sweeps where the analyzer models, rather than
 	// decodes, its input).
 	SizeOnly bool
+	// WriteDeadline bounds how long a pack write may wait for stream
+	// credits before the stalled endpoint is quarantined (0 = wait
+	// forever, the seed behavior).
+	WriteDeadline time.Duration
+	// FailoverEndpoints adds up to this many extra analyzer ranks beyond
+	// the mapped one to the write stream, giving the recorder somewhere to
+	// fail over when its primary analyzer dies or stalls.
+	FailoverEndpoints int
 }
 
 // DefaultOnlineConfig returns the calibration used by the experiments:
@@ -124,7 +132,11 @@ func DefaultOnlineConfig(appID uint32) OnlineConfig {
 
 // OnlineRecorder packs events and writes them to a VMPI stream. Its
 // overhead is its per-event cost plus whatever back-pressure the stream
-// applies when the analyzer or the network cannot keep up.
+// applies when the analyzer or the network cannot keep up. When the stream
+// degrades (every analyzer endpoint crashed or stalled past the write
+// deadline), the recorder falls back to a local per-call-kind reduction —
+// the application keeps its instrumentation and loses only the streamed
+// detail.
 type OnlineRecorder struct {
 	sess     *vmpi.Session
 	stream   *vmpi.Stream
@@ -139,6 +151,12 @@ type OnlineRecorder struct {
 	recordSize int
 	packBytes  int
 	pendBytes  int
+
+	// Degraded-mode fallback: a ProfileRecorder-style local reduction
+	// covering events recorded after the stream died.
+	fellBack bool
+	fallback CallProfile
+	writeErr error
 }
 
 // NewOnlineRecorder wraps an already-open writer stream.
@@ -163,6 +181,12 @@ func NewOnlineRecorder(sess *vmpi.Session, stream *vmpi.Stream, cfg OnlineConfig
 // AttachOnline maps the session's partition to the named analyzer
 // partition (round-robin), opens a write stream over the map and returns a
 // recorder on it — the whole coupling sequence of the paper's Figure 11.
+// With cfg.FailoverEndpoints > 0 the stream is opened over the mapped
+// analyzer plus up to that many additional analyzer ranks (wrapping around
+// the partition), ordered primary-first so failover targets only absorb
+// traffic when the primary is out of credits or quarantined. The analyzer
+// side must then open its read streams over every potential writer, not
+// just its mapped ones.
 func AttachOnline(sess *vmpi.Session, analyzer string, cfg OnlineConfig) (*OnlineRecorder, error) {
 	part := sess.Layout().DescByName(analyzer)
 	if part == nil {
@@ -172,11 +196,52 @@ func AttachOnline(sess *vmpi.Session, analyzer string, cfg OnlineConfig) (*Onlin
 	if err := sess.MapPartitions(part.ID, vmpi.MapRoundRobin, &m); err != nil {
 		return nil, err
 	}
-	st := vmpi.NewStream(sess, int64(cfg.PackBytes), vmpi.BalanceRoundRobin)
-	if err := st.OpenMap(&m, "w"); err != nil {
+	// Primary-first ordering (BalanceNone) when a failover set is present:
+	// the mapped endpoint is drained before traffic spills to backups.
+	policy := vmpi.BalanceRoundRobin
+	if cfg.FailoverEndpoints > 0 {
+		policy = vmpi.BalanceNone
+	}
+	st := vmpi.NewStream(sess, int64(cfg.PackBytes), policy)
+	if cfg.WriteDeadline > 0 {
+		st.SetWriteDeadline(cfg.WriteDeadline)
+	}
+	if cfg.FailoverEndpoints > 0 {
+		peers := failoverPeers(m.Targets(), part.Globals, cfg.FailoverEndpoints)
+		if err := st.OpenRanks(peers, "w"); err != nil {
+			return nil, err
+		}
+	} else if err := st.OpenMap(&m, "w"); err != nil {
 		return nil, err
 	}
 	return NewOnlineRecorder(sess, st, cfg), nil
+}
+
+// failoverPeers returns the mapped analyzer ranks followed by up to extra
+// additional ranks from the analyzer partition, wrapping around from the
+// last primary so different writers prefer different backups.
+func failoverPeers(primaries, analyzers []int, extra int) []int {
+	peers := append([]int(nil), primaries...)
+	used := make(map[int]bool, len(primaries))
+	start := 0
+	for _, g := range primaries {
+		used[g] = true
+		for j, a := range analyzers {
+			if a == g {
+				start = j
+			}
+		}
+	}
+	for off := 1; off <= len(analyzers) && extra > 0; off++ {
+		a := analyzers[(start+off)%len(analyzers)]
+		if used[a] {
+			continue
+		}
+		used[a] = true
+		peers = append(peers, a)
+		extra--
+	}
+	return peers
 }
 
 // Name implements Recorder.
@@ -188,10 +253,46 @@ func (o *OnlineRecorder) BytesProduced() int64 { return o.produced }
 // Events returns the number of events recorded.
 func (o *OnlineRecorder) Events() int64 { return o.events }
 
+// FellBack reports whether the recorder abandoned the stream and switched
+// to its local-profile fallback.
+func (o *OnlineRecorder) FellBack() bool { return o.fellBack }
+
+// FallbackProfile returns the local reduction accumulated after fallback
+// (nil if the stream stayed healthy). It covers only events recorded after
+// the switch; earlier events either reached the analyzer or are accounted
+// in StreamStats().BlocksDropped.
+func (o *OnlineRecorder) FallbackProfile() CallProfile { return o.fallback }
+
+// StreamStats exposes the underlying stream's health counters.
+func (o *OnlineRecorder) StreamStats() vmpi.StreamStats { return o.stream.Stats() }
+
+// WriteErr returns the stream error that forced fallback, if any. A
+// degraded-but-errorless stream (drops, no protocol error) leaves it nil.
+func (o *OnlineRecorder) WriteErr() error { return o.writeErr }
+
+// enterFallback switches the recorder to local reduction.
+func (o *OnlineRecorder) enterFallback() {
+	if o.fellBack {
+		return
+	}
+	o.fellBack = true
+	o.fallback = make(CallProfile)
+	o.pendBytes = 0
+	if o.builder != nil {
+		o.builder.Take() // discard the partial pack; its events are lost
+	}
+}
+
 // Record implements Recorder.
 func (o *OnlineRecorder) Record(ev *trace.Event) {
 	o.cost.charge()
 	o.events++
+	if o.fellBack {
+		if ev != nil {
+			o.fallback.Add(ev)
+		}
+		return
+	}
 	if o.sizeOnly {
 		// Fast path: overhead experiments observe virtual time only, so
 		// the pack is accounted, not encoded.
@@ -210,6 +311,9 @@ func (o *OnlineRecorder) Record(ev *trace.Event) {
 }
 
 func (o *OnlineRecorder) flush() {
+	if o.fellBack {
+		return
+	}
 	var payload []byte
 	var size int64
 	if o.sizeOnly {
@@ -228,12 +332,24 @@ func (o *OnlineRecorder) flush() {
 	o.produced += size
 	o.cost.settle()
 	if err := o.stream.Write(payload, size); err != nil {
-		panic(fmt.Sprintf("instrument: stream write failed: %v", err))
+		// A protocol error (e.g. unmapped control traffic) kills the
+		// stream for good: switch to local reduction instead of taking
+		// the application down.
+		o.writeErr = err
+		o.enterFallback()
+		return
+	}
+	if o.stream.Degraded() {
+		// Every endpoint is quarantined; further packs would only be
+		// counted as drops. Reduce locally instead.
+		o.enterFallback()
 	}
 }
 
 // Finalize implements Recorder: it flushes the last pack and closes the
 // stream (waiting for the analyzer to acknowledge all in-flight blocks).
+// A recorder that fell back closes best-effort: the surviving profile is
+// in FallbackProfile and close errors are not fatal to the application.
 func (o *OnlineRecorder) Finalize() {
 	if o.closed {
 		return
@@ -242,7 +358,10 @@ func (o *OnlineRecorder) Finalize() {
 	o.flush()
 	o.cost.settle()
 	if err := o.stream.Close(); err != nil {
-		panic(fmt.Sprintf("instrument: stream close failed: %v", err))
+		if !o.fellBack {
+			o.writeErr = err
+			o.enterFallback()
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/des"
 	"repro/internal/mpi"
 	"repro/internal/simfs"
 	"repro/internal/trace"
@@ -353,5 +354,154 @@ func TestCallProfileWriteReport(t *testing.T) {
 	// Barrier (3000ns) must be listed before Send (1000ns).
 	if strings.Index(out, "MPI_Barrier") > strings.Index(out, "MPI_Send") {
 		t.Fatal("report not sorted by time")
+	}
+}
+
+func TestOnlineRecorderFailoverKeepsStreaming(t *testing.T) {
+	// One app rank mapped (round-robin) to analyzer rank 1, with analyzer
+	// rank 2 as its failover endpoint. Killing the primary mid-run must
+	// reroute packs to the survivor without abandoning the stream.
+	cfg := mpi.DefaultConfig()
+	var layout *vmpi.Layout
+	var fellBack bool
+	var stats vmpi.StreamStats
+	var survivorBlocks int64
+	analyzerMain := func(r *mpi.Rank) {
+		sess := layout.Init(r)
+		var mp vmpi.Map
+		if err := sess.MapPartitions(0, vmpi.MapRoundRobin, &mp); err != nil {
+			t.Error(err)
+			return
+		}
+		// Failover means any app writer may appear here: read over the
+		// full app partition, not just the mapped writers.
+		st := vmpi.NewStream(sess, 1<<12, vmpi.BalanceRoundRobin)
+		if err := st.OpenRanks(layout.Partition(0).Globals, "r"); err != nil {
+			t.Error(err)
+			return
+		}
+		for {
+			blk, err := st.Read(false)
+			if err != nil {
+				t.Errorf("analyzer read: %v", err)
+				return
+			}
+			if blk == nil {
+				break
+			}
+			if r.Global() == 2 {
+				survivorBlocks++
+			}
+		}
+		st.Close()
+	}
+	w := mpi.NewWorld(cfg,
+		mpi.Program{Name: "app", Procs: 1, Main: func(r *mpi.Rank) {
+			sess := layout.Init(r)
+			m := New(r, sess.WorldComm())
+			ocfg := OnlineConfig{
+				RecordSize: 64, PackBytes: 1 << 12, SizeOnly: true,
+				FailoverEndpoints: 1,
+			}
+			rec, err := AttachOnline(sess, "Analyzer", ocfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			m.SetRecorder(rec)
+			for i := 0; i < 40; i++ {
+				m.Compute(500 * time.Microsecond)
+				for j := 0; j < 100; j++ {
+					m.PosixRead(1, 0)
+				}
+			}
+			m.Finalize()
+			fellBack = rec.FellBack()
+			stats = rec.StreamStats()
+		}},
+		mpi.Program{Name: "Analyzer", Procs: 2, Main: analyzerMain},
+	)
+	layout = vmpi.NewLayout(w)
+	w.FailRank(des.DurationToTime(5*time.Millisecond), 1)
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fellBack {
+		t.Fatal("recorder fell back despite a surviving failover endpoint")
+	}
+	if stats.Quarantines != 1 || stats.Failovers == 0 {
+		t.Fatalf("stats = %+v, want the primary quarantined and failovers counted", stats)
+	}
+	if survivorBlocks == 0 {
+		t.Fatal("failover endpoint received no blocks")
+	}
+}
+
+func TestOnlineRecorderFallsBackWhenAllAnalyzersDie(t *testing.T) {
+	// Sole analyzer crashes mid-run: the recorder must degrade to a local
+	// profile instead of hanging or crashing the application.
+	cfg := mpi.DefaultConfig()
+	var layout *vmpi.Layout
+	var fellBack bool
+	var prof CallProfile
+	var stats vmpi.StreamStats
+	w := mpi.NewWorld(cfg,
+		mpi.Program{Name: "app", Procs: 1, Main: func(r *mpi.Rank) {
+			sess := layout.Init(r)
+			m := New(r, sess.WorldComm())
+			ocfg := OnlineConfig{
+				RecordSize: 64, PackBytes: 1 << 12, SizeOnly: true,
+				WriteDeadline: 50 * time.Millisecond,
+			}
+			rec, err := AttachOnline(sess, "Analyzer", ocfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			m.SetRecorder(rec)
+			for i := 0; i < 40; i++ {
+				m.Compute(500 * time.Microsecond)
+				for j := 0; j < 100; j++ {
+					m.PosixRead(1, 0)
+				}
+			}
+			m.Finalize()
+			fellBack = rec.FellBack()
+			prof = rec.FallbackProfile()
+			stats = rec.StreamStats()
+		}},
+		mpi.Program{Name: "Analyzer", Procs: 1, Main: func(r *mpi.Rank) {
+			sess := layout.Init(r)
+			var mp vmpi.Map
+			if err := sess.MapPartitions(0, vmpi.MapRoundRobin, &mp); err != nil {
+				t.Error(err)
+				return
+			}
+			st := vmpi.NewStream(sess, 1<<12, vmpi.BalanceRoundRobin)
+			if err := st.OpenMap(&mp, "r"); err != nil {
+				t.Error(err)
+				return
+			}
+			for {
+				blk, err := st.Read(false)
+				if err != nil || blk == nil {
+					return
+				}
+			}
+		}},
+	)
+	layout = vmpi.NewLayout(w)
+	w.FailRank(des.DurationToTime(5*time.Millisecond), 1)
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fellBack {
+		t.Fatal("recorder kept streaming into a dead analyzer")
+	}
+	if prof == nil || prof[trace.KindPosixRead] == nil || prof[trace.KindPosixRead].Hits == 0 {
+		t.Fatalf("fallback profile missing reduced events: %v", prof)
+	}
+	if stats.Quarantines != 1 || stats.BlocksDropped == 0 {
+		t.Fatalf("stats = %+v, want quarantine + at least one dropped block", stats)
 	}
 }

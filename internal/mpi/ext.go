@@ -27,6 +27,15 @@ func (r *Rank) Ssend(c *Comm, dst, tag int, size int64, payload []byte) {
 	msg := &message{srcLocal: srcLocal, tag: tag, comm: c.id, size: size, payload: payload, syncer: r.proc}
 	target := w.ranks[dstGlobal]
 	w.sim.At(delivered, func() {
+		if w.failed[dstGlobal] {
+			// The peer crashed: the message can never be matched. Release
+			// the synchronous sender rather than strand it.
+			if msg.syncer != nil {
+				msg.syncer.Unpark()
+				msg.syncer = nil
+			}
+			return
+		}
 		target.mailbox = append(target.mailbox, msg)
 		target.arrivalSeq++
 		target.arrival.Broadcast()

@@ -97,6 +97,10 @@ type World struct {
 
 	finished   int
 	finishTime []des.Time
+
+	// Fault-injection state (see fault.go).
+	failed   []bool
+	failedAt []des.Time
 }
 
 // NewWorld builds a world from the given programs. Run must be called to
@@ -120,6 +124,8 @@ func NewWorld(cfg Config, programs ...Program) *World {
 		colls:      make(map[collKey]*collState),
 		splits:     make(map[collKey]*splitState),
 		finishTime: make([]des.Time, total),
+		failed:     make([]bool, total),
+		failedAt:   make([]des.Time, total),
 	}
 	if cfg.FS != nil {
 		w.fs = simfs.New(*cfg.FS)
@@ -215,8 +221,9 @@ func (w *World) Run() error {
 	for _, r := range w.ranks {
 		r := r
 		name := fmt.Sprintf("%s[%d]", w.programs[r.prog].Name, r.local)
-		w.sim.Spawn(name, func(p *des.Proc) {
-			r.proc = p
+		// The proc handle is taken from Spawn so fault injection scheduled
+		// at t=0 (before the rank's first transfer) can still target it.
+		r.proc = w.sim.Spawn(name, func(p *des.Proc) {
 			w.programs[r.prog].Main(r)
 			w.finishTime[r.global] = p.Now()
 			w.finished++
@@ -319,6 +326,10 @@ type Rank struct {
 	mailbox    []*message
 	arrival    des.Cond
 	arrivalSeq uint64
+
+	// throttle > 1 slows the rank's Compute calls by that factor — the
+	// "slow consumer" fault (see World.ThrottleRank).
+	throttle float64
 }
 
 // Global returns the rank's id in the universe.
@@ -344,8 +355,13 @@ func (r *Rank) Now() des.Time { return r.proc.Now() }
 func (r *Rank) Wtime() float64 { return r.proc.Now().Seconds() }
 
 // Compute advances the rank's virtual time by d, modeling local
-// computation.
-func (r *Rank) Compute(d time.Duration) { r.proc.Sleep(d) }
+// computation. A throttle fault (World.ThrottleRank) stretches it.
+func (r *Rank) Compute(d time.Duration) {
+	if r.throttle > 1 {
+		d = time.Duration(float64(d) * r.throttle)
+	}
+	r.proc.Sleep(d)
+}
 
 func (r *Rank) overhead() { r.proc.Sleep(r.world.cfg.CallOverhead) }
 
@@ -373,6 +389,9 @@ func (r *Rank) Isend(c *Comm, dst, tag int, size int64, payload []byte) *Request
 	msg := &message{srcLocal: srcLocal, tag: tag, comm: c.id, size: size, payload: payload}
 	target := w.ranks[dstGlobal]
 	w.sim.At(delivered, func() {
+		if w.failed[dstGlobal] {
+			return // delivered into the void: the peer crashed in flight
+		}
 		target.mailbox = append(target.mailbox, msg)
 		target.arrivalSeq++
 		target.arrival.Broadcast()
@@ -448,6 +467,14 @@ func (r *Rank) waitOne(req *Request) {
 		for req.matched == nil {
 			if r.tryMatch(req) {
 				break
+			}
+			// A receive from a specific crashed peer can never match: fail
+			// loudly instead of hanging silently. Fault-aware code uses
+			// RecvDeadline, which returns a *RankFailedError instead.
+			if req.wantSrc != AnySource {
+				if g := req.comm.Global(req.wantSrc); r.world.failed[g] {
+					panic(&RankFailedError{Rank: g, Op: "Recv"})
+				}
 			}
 			r.arrival.Wait(r.proc, fmt.Sprintf("recv(src=%d tag=%d comm=%d)", req.wantSrc, req.wantTag, req.comm.id))
 		}

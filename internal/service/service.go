@@ -60,34 +60,71 @@ type Stats struct {
 	PerBenchmark map[string]int
 }
 
+// DefaultHistoryCap bounds the retained job history. A persistent service
+// outlives any single client; an unbounded history is a slow leak.
+const DefaultHistoryCap = 128
+
 // Service is a persistent profiling front-end.
 type Service struct {
 	platform exp.Platform
 
-	mu      sync.Mutex
-	nextID  int
-	history []Result
-	stats   Stats
+	// runMu serializes job execution (the service owns one analysis
+	// allocation). It is distinct from mu so Stats and History never block
+	// behind a running job.
+	runMu sync.Mutex
+
+	mu         sync.Mutex
+	nextID     int
+	history    []Result // ring of the most recent historyCap results
+	historyCap int
+	dropped    int // results evicted from the ring
+	stats      Stats
 }
 
 // New creates a service on the given platform model.
 func New(p exp.Platform) *Service {
-	return &Service{platform: p, stats: Stats{PerBenchmark: map[string]int{}}}
+	return &Service{
+		platform:   p,
+		historyCap: DefaultHistoryCap,
+		stats:      Stats{PerBenchmark: map[string]int{}},
+	}
+}
+
+// SetHistoryCap bounds the retained history to the most recent n results
+// (n <= 0 keeps none). Cumulative Stats are unaffected by eviction.
+func (s *Service) SetHistoryCap(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	s.historyCap = n
+	s.evictLocked()
+}
+
+func (s *Service) evictLocked() {
+	if over := len(s.history) - s.historyCap; over > 0 {
+		s.dropped += over
+		s.history = append(s.history[:0:0], s.history[over:]...)
+	}
 }
 
 // Submit runs one job to completion and returns its result. Submissions
 // are serialized (the service owns one analysis allocation, like the
 // paper's statically assigned resources); concurrent callers queue.
+// Stats and History remain responsive while a job runs.
 func (s *Service) Submit(job Job) (Result, error) {
 	if len(job.Workloads) == 0 {
 		return Result{}, fmt.Errorf("service: empty job")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
 	rep, err := exp.ProfileRun(s.platform, job.Workloads, job.Options)
 	if err != nil {
 		return Result{}, fmt.Errorf("service: job failed: %w", err)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.nextID++
 	res := Result{ID: s.nextID, Report: rep}
 	for _, ch := range rep.Chapters {
@@ -100,6 +137,7 @@ func (s *Service) Submit(job Job) (Result, error) {
 	s.stats.Events += res.Events
 	s.stats.AppSeconds += res.AppSeconds
 	s.history = append(s.history, res)
+	s.evictLocked()
 	return res, nil
 }
 
@@ -115,11 +153,20 @@ func (s *Service) Stats() Stats {
 	return out
 }
 
-// History returns the completed jobs in submission order.
+// History returns the retained completed jobs in submission order (at most
+// the configured history cap; older results are evicted).
 func (s *Service) History() []Result {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return append([]Result(nil), s.history...)
+}
+
+// HistoryEvicted reports how many results have aged out of the bounded
+// history.
+func (s *Service) HistoryEvicted() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
 }
 
 // WriteSummary renders the service's machine-wide view: the cross-job

@@ -124,3 +124,68 @@ func TestWriteSummary(t *testing.T) {
 		}
 	}
 }
+
+func TestHistoryRingBounded(t *testing.T) {
+	s := New(exp.Tera100())
+	s.SetHistoryCap(2)
+	for i := 0; i < 4; i++ {
+		if _, err := s.Submit(smallJob(t, "LU", 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := s.History()
+	if len(h) != 2 || h[0].ID != 3 || h[1].ID != 4 {
+		t.Fatalf("history = %+v, want the two most recent results", h)
+	}
+	if s.HistoryEvicted() != 2 {
+		t.Fatalf("evicted = %d, want 2", s.HistoryEvicted())
+	}
+	// Cumulative stats are not affected by eviction.
+	if st := s.Stats(); st.Jobs != 4 {
+		t.Fatalf("stats.Jobs = %d, want 4", st.Jobs)
+	}
+	// Shrinking the cap evicts immediately.
+	s.SetHistoryCap(0)
+	if h := s.History(); len(h) != 0 {
+		t.Fatalf("history after cap 0 = %d entries", len(h))
+	}
+	if s.HistoryEvicted() != 4 {
+		t.Fatalf("evicted = %d, want 4", s.HistoryEvicted())
+	}
+}
+
+func TestStatsNotBlockedByRunningJob(t *testing.T) {
+	// Submit holds the run gate, not the bookkeeping mutex: Stats and
+	// History answer while a job is executing.
+	s := New(exp.Tera100())
+	release := make(chan struct{})
+	running := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.runMu.Lock() // stand in for a long-running Submit
+		close(running)
+		<-release
+		s.runMu.Unlock()
+	}()
+	<-running
+	done := make(chan struct{})
+	go func() {
+		s.Stats()
+		s.History()
+		s.HistoryEvicted()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-release:
+		t.Fatal("unreachable")
+	}
+	close(release)
+	wg.Wait()
+	// And a queued Submit still works once the gate frees up.
+	if _, err := s.Submit(smallJob(t, "CG", 8)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
+	"repro/internal/des"
 	"repro/internal/mpi"
 )
 
@@ -74,6 +76,17 @@ type StreamStats struct {
 	WriteStalls int64
 	// EAGAINs counts non-blocking reads that found nothing.
 	EAGAINs int64
+	// Quarantines counts endpoints removed from service: crashed peers,
+	// peers whose reader half closed, peers that missed the write
+	// deadline, and (reader side) writers that crashed before closing.
+	Quarantines int64
+	// Failovers counts blocks written to a surviving endpoint after at
+	// least one endpoint was quarantined — traffic carried by failover.
+	Failovers int64
+	// BlocksDropped counts writes discarded in degraded mode (every
+	// endpoint quarantined): the stream sheds measurement data instead of
+	// blocking the application.
+	BlocksDropped int64
 }
 
 // Stream is a persistent asynchronous channel between this process and the
@@ -91,6 +104,15 @@ type Stream struct {
 	credits     []int
 	rr          int
 	outstanding int
+
+	// Failure handling (writer side). A quarantined endpoint is out of
+	// service: its in-flight credits are written off and no further blocks
+	// are sent to it. When every endpoint is quarantined the stream is
+	// degraded: writes are counted and dropped instead of blocking.
+	writeDeadline time.Duration
+	quarantined   []bool
+	nQuarantined  int
+	degraded      bool
 
 	// Window sizes (default NA / NAOut).
 	na    int
@@ -146,9 +168,26 @@ func (st *Stream) Stats() StreamStats { return st.stats }
 // BlockSize returns the stream's block size.
 func (st *Stream) BlockSize() int64 { return st.blockSize }
 
+// SetWriteDeadline bounds how long a Write (or a writer-half Close) may
+// block waiting for credits. When the deadline expires, every endpoint
+// with unacknowledged blocks is quarantined and traffic fails over to the
+// survivors; with none left the stream degrades to drop-counting mode.
+// Zero (the default) blocks indefinitely — the paper's pure back-pressure.
+func (st *Stream) SetWriteDeadline(d time.Duration) { st.writeDeadline = d }
+
+// Degraded reports whether every mapped endpoint has been quarantined:
+// writes are now counted in BlocksDropped and discarded, keeping the
+// application alive at the price of measurement completeness.
+func (st *Stream) Degraded() bool { return st.degraded }
+
 func (st *Stream) tagData() int   { return tagStreamBase + st.channel*4 }
 func (st *Stream) tagCredit() int { return tagStreamBase + st.channel*4 + 1 }
 func (st *Stream) tagClose() int  { return tagStreamBase + st.channel*4 + 2 }
+
+// tagReaderClose is sent by a closing reader half to its writers so a
+// writer blocked on credits wakes and quarantines the endpoint instead of
+// hanging forever.
+func (st *Stream) tagReaderClose() int { return tagStreamBase + st.channel*4 + 3 }
 
 // OpenMap connects the stream to the processes of a map, as a writer
 // (mode "w") or reader (mode "r") endpoint — the paper's
@@ -178,6 +217,7 @@ func (st *Stream) OpenRanks(peers []int, mode string) error {
 		for i := range st.credits {
 			st.credits[i] = st.na
 		}
+		st.quarantined = make([]bool, len(peers))
 	}
 	if strings.Contains(mode, "r") {
 		st.mode |= modeR
@@ -200,36 +240,78 @@ func (st *Stream) peerIndex(global int) int {
 	return -1
 }
 
-// drainCredits consumes every credit message currently in the mailbox.
-func (st *Stream) drainCredits() {
+// quarantine takes endpoint i out of service: its in-flight credits are
+// written off (the shared output window recovers them) and it is skipped
+// by pickWritable from now on. Quarantining the last endpoint degrades the
+// stream.
+func (st *Stream) quarantine(i int) {
+	if st.quarantined[i] {
+		return
+	}
+	st.quarantined[i] = true
+	st.nQuarantined++
+	st.stats.Quarantines++
+	st.outstanding -= st.na - st.credits[i]
+	st.credits[i] = 0
+	if st.nQuarantined == len(st.peers) {
+		st.degraded = true
+	}
+}
+
+// quarantineStalled quarantines every endpoint holding unacknowledged
+// blocks — invoked when the write deadline expires, at which point any
+// endpoint that failed to return a credit within the deadline is suspect.
+func (st *Stream) quarantineStalled() {
+	for i := range st.peers {
+		if !st.quarantined[i] && st.credits[i] < st.na {
+			st.quarantine(i)
+		}
+	}
+}
+
+// drainControl consumes every pending control message on the writer half:
+// returning credits, reader-close notifications (each quarantining its
+// endpoint), and sweeps the peer list for crashed ranks. Control traffic
+// from ranks outside the mapping is an error (a protocol violation, no
+// longer a panic).
+func (st *Stream) drainControl() error {
 	r := st.sess.rank
 	u := st.sess.Universe()
 	for {
 		ok, _ := r.Iprobe(u, mpi.AnySource, st.tagCredit())
 		if !ok {
-			return
+			break
 		}
 		status, _ := r.Recv(u, mpi.AnySource, st.tagCredit())
 		i := st.peerIndex(status.Source)
 		if i < 0 {
-			panic(fmt.Sprintf("vmpi: credit from unmapped rank %d", status.Source))
+			return fmt.Errorf("vmpi: credit from unmapped rank %d", status.Source)
+		}
+		if st.quarantined[i] {
+			continue // already written off when the endpoint was quarantined
 		}
 		st.credits[i]++
 		st.outstanding--
 	}
-}
-
-// awaitCredit blocks until one credit arrives.
-func (st *Stream) awaitCredit() {
-	r := st.sess.rank
-	u := st.sess.Universe()
-	status, _ := r.Recv(u, mpi.AnySource, st.tagCredit())
-	i := st.peerIndex(status.Source)
-	if i < 0 {
-		panic(fmt.Sprintf("vmpi: credit from unmapped rank %d", status.Source))
+	for {
+		ok, status := r.Iprobe(u, mpi.AnySource, st.tagReaderClose())
+		if !ok {
+			break
+		}
+		r.Recv(u, status.Source, st.tagReaderClose())
+		i := st.peerIndex(status.Source)
+		if i < 0 {
+			return fmt.Errorf("vmpi: reader close from unmapped rank %d", status.Source)
+		}
+		st.quarantine(i)
 	}
-	st.credits[i]++
-	st.outstanding--
+	w := r.World()
+	for i, p := range st.peers {
+		if !st.quarantined[i] && w.RankFailed(p) {
+			st.quarantine(i)
+		}
+	}
+	return nil
 }
 
 // pickWritable selects the target endpoint for the next block according to
@@ -241,21 +323,21 @@ func (st *Stream) pickWritable() int {
 		// No balancing: stick to mapping order; endpoint i+1 is only used
 		// when 0..i are exhausted.
 		for i := 0; i < n; i++ {
-			if st.credits[i] > 0 {
+			if st.credits[i] > 0 && !st.quarantined[i] {
 				return i
 			}
 		}
 	case BalanceRoundRobin:
 		for k := 0; k < n; k++ {
 			i := (st.rr + k) % n
-			if st.credits[i] > 0 {
+			if st.credits[i] > 0 && !st.quarantined[i] {
 				return i
 			}
 		}
 	case BalanceRandom:
 		var avail []int
 		for i := 0; i < n; i++ {
-			if st.credits[i] > 0 {
+			if st.credits[i] > 0 && !st.quarantined[i] {
 				avail = append(avail, i)
 			}
 		}
@@ -271,6 +353,12 @@ func (st *Stream) pickWritable() int {
 // shared output buffers are full or every mapped endpoint's receive window
 // is exhausted, in which case it blocks until a credit returns — the
 // paper's producer/consumer adaptation window.
+//
+// Under faults the window is bounded: a crashed peer or a reader-half
+// close quarantines its endpoint immediately, a write deadline (see
+// SetWriteDeadline) quarantines stalled endpoints, traffic fails over to
+// the surviving endpoints, and with none left the block is counted in
+// BlocksDropped and discarded — a degraded Write never blocks.
 func (st *Stream) Write(payload []byte, size int64) error {
 	if st.mode&modeW == 0 {
 		return errors.New("vmpi: Write on a non-writer stream")
@@ -281,26 +369,52 @@ func (st *Stream) Write(payload []byte, size int64) error {
 	if payload != nil && int64(len(payload)) != size {
 		return fmt.Errorf("vmpi: payload length %d does not match size %d", len(payload), size)
 	}
-	st.drainCredits()
-	var i int
+	r := st.sess.rank
+	var deadline des.Time
+	if st.writeDeadline > 0 {
+		deadline = r.Now() + des.DurationToTime(st.writeDeadline)
+	}
 	for {
+		// Sample the delivery generation before probing so an arrival that
+		// races with the probes keeps the wait from parking.
+		seq := r.ArrivalSeq()
+		if err := st.drainControl(); err != nil {
+			return err
+		}
+		if st.degraded {
+			st.stats.BlocksDropped++
+			return nil
+		}
 		if st.outstanding < st.naOut {
-			if i = st.pickWritable(); i >= 0 {
-				break
+			if i := st.pickWritable(); i >= 0 {
+				if err := r.SendChecked(st.sess.Universe(), st.peers[i], st.tagData(), size, payload); err != nil {
+					var rf *mpi.RankFailedError
+					if errors.As(err, &rf) {
+						st.quarantine(i) // peer died under us: fail over
+						continue
+					}
+					return err
+				}
+				st.credits[i]--
+				st.outstanding++
+				if st.policy == BalanceRoundRobin {
+					st.rr = (i + 1) % len(st.peers)
+				}
+				st.stats.BlocksWritten++
+				st.stats.BytesWritten += size
+				if st.nQuarantined > 0 {
+					st.stats.Failovers++
+				}
+				return nil
 			}
 		}
 		st.stats.WriteStalls++
-		st.awaitCredit()
+		if deadline > 0 && r.Now() >= deadline {
+			st.quarantineStalled()
+			continue
+		}
+		r.WaitArrivalDeadline(seq, deadline, "vmpi stream write (await credit)")
 	}
-	st.sess.rank.Send(st.sess.Universe(), st.peers[i], st.tagData(), size, payload)
-	st.credits[i]--
-	st.outstanding++
-	if st.policy == BalanceRoundRobin {
-		st.rr = (i + 1) % len(st.peers)
-	}
-	st.stats.BlocksWritten++
-	st.stats.BytesWritten += size
-	return nil
 }
 
 // readOrder returns the writer indices in the order the balancing policy
@@ -367,6 +481,18 @@ func (st *Stream) Read(nonblock bool) (*Block, error) {
 				st.nClosed++
 			}
 		}
+		// A writer that crashed will never send its close: write it off so
+		// the reader can still drain the survivors and terminate. Blocks it
+		// sent before dying are served first (takeData runs below before
+		// the all-closed check).
+		w := r.World()
+		for i, wrt := range st.writers {
+			if !st.closed[i] && w.RankFailed(wrt) {
+				st.closed[i] = true
+				st.nClosed++
+				st.stats.Quarantines++
+			}
+		}
 		if blk := st.takeData(); blk != nil {
 			return blk, nil
 		}
@@ -416,19 +542,61 @@ func (st *Stream) finishRead(status mpi.Status, payload []byte) *Block {
 }
 
 // Close terminates the endpoint. A writer half first waits for every
-// in-flight block to be acknowledged and then notifies each mapped reader;
-// a reader half closes locally (the paper's VMPI_Stream_close). On a
-// duplex stream both halves close.
+// in-flight block to be acknowledged (bounded by the write deadline, with
+// the same quarantine semantics as Write) and then notifies each live
+// mapped reader; a reader half notifies its writers (tagReaderClose) so a
+// writer blocked on credits wakes instead of hanging, then closes locally
+// (the paper's VMPI_Stream_close). On a duplex stream both halves close.
 func (st *Stream) Close() error {
 	if st.mode == 0 {
 		return errors.New("vmpi: Close on an unopened stream")
 	}
+	r := st.sess.rank
+	u := st.sess.Universe()
 	if st.mode&modeW != 0 {
-		for st.outstanding > 0 {
-			st.awaitCredit()
+		var deadline des.Time
+		if st.writeDeadline > 0 {
+			deadline = r.Now() + des.DurationToTime(st.writeDeadline)
 		}
-		for _, p := range st.peers {
-			st.sess.rank.Send(st.sess.Universe(), p, st.tagClose(), 0, nil)
+		for st.outstanding > 0 {
+			seq := r.ArrivalSeq()
+			if err := st.drainControl(); err != nil {
+				return err
+			}
+			if st.outstanding <= 0 || st.degraded {
+				break
+			}
+			if deadline > 0 && r.Now() >= deadline {
+				st.quarantineStalled()
+				continue
+			}
+			r.WaitArrivalDeadline(seq, deadline, "vmpi stream close (drain acks)")
+		}
+		for i, p := range st.peers {
+			if st.quarantined[i] {
+				continue // crashed or already closed its reader half
+			}
+			if err := r.SendChecked(u, p, st.tagClose(), 0, nil); err != nil {
+				var rf *mpi.RankFailedError
+				if !errors.As(err, &rf) {
+					return err
+				}
+				st.quarantine(i)
+			}
+		}
+	}
+	if st.mode&modeR != 0 {
+		w := r.World()
+		for i, wrt := range st.writers {
+			if st.closed[i] || w.RankFailed(wrt) {
+				continue // writer already finished (or died): nothing to wake
+			}
+			if err := r.SendChecked(u, wrt, st.tagReaderClose(), 0, nil); err != nil {
+				var rf *mpi.RankFailedError
+				if !errors.As(err, &rf) {
+					return err
+				}
+			}
 		}
 	}
 	st.mode = 0
