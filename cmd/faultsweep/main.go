@@ -40,6 +40,7 @@ func main() {
 		killFlag     = flag.Int("kill", 1, "how many analyzer ranks crash (clamped to the partition size)")
 		deadlineFlag = flag.Duration("deadline", exp.DefaultWriteDeadline, "stream write deadline before a stalled endpoint is quarantined")
 		platformFlag = flag.String("platform", "tera100", "platform model (tera100 or curie)")
+		jFlag        = flag.Int("j", 0, "parallel sweep workers (0 = all cores, 1 = serial); output is identical for any value")
 	)
 	flag.Parse()
 
@@ -65,7 +66,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	points, err := exp.FaultSweep(platform, w, *ratioFlag, fracs, *killFlag, *deadlineFlag)
+	points, err := exp.FaultSweepJ(platform, w, *ratioFlag, fracs, *killFlag, *deadlineFlag, *jFlag)
 	if err != nil {
 		log.Fatal(err)
 	}

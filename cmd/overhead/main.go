@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/exp"
+	"repro/internal/exp/runner"
 	"repro/internal/nas"
 )
 
@@ -33,6 +34,7 @@ func main() {
 		ratioFlag    = flag.Int("ratio", 1, "writer/reader ratio for the analysis partition")
 		repeatFlag   = flag.Int("repeats", 3, "noise-seed passes averaged per point (the paper averages 3)")
 		platformFlag = flag.String("platform", "tera100", "platform model (tera100 or curie)")
+		jFlag        = flag.Int("j", 0, "parallel sweep workers (0 = all cores, 1 = serial); the table is identical for any value")
 	)
 	flag.Parse()
 
@@ -49,7 +51,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	var points []exp.OverheadPoint
+	// Resolve the measurement grid up front (snapping and skip rules are
+	// cheap), then fan the independent simulations out over the pool.
+	var grid []*nas.Workload
 	for _, c := range cases {
 		seen := map[int]bool{}
 		for _, p := range procs {
@@ -62,13 +66,21 @@ func main() {
 			if err != nil {
 				continue // unsupported combination, omitted like the paper
 			}
-			pt, err := exp.MeasureOverheadAvg(platform, w, exp.ToolOnline, *ratioFlag, *repeatFlag)
-			if err != nil {
-				log.Fatal(err)
-			}
-			points = append(points, pt)
-			fmt.Fprintf(os.Stderr, "done %s procs=%d ovh=%.2f%%\n", pt.Bench, pt.Procs, pt.OverheadPct)
+			grid = append(grid, w)
 		}
+	}
+	points, err := runner.Run(len(grid), *jFlag, func(i int) (exp.OverheadPoint, error) {
+		pt, err := exp.MeasureOverheadAvg(platform, grid[i], exp.ToolOnline, *ratioFlag, *repeatFlag)
+		if err != nil {
+			return exp.OverheadPoint{}, err
+		}
+		// Progress on stderr; lines interleave by completion when -j > 1
+		// but the stdout table below stays in grid order regardless.
+		fmt.Fprintf(os.Stderr, "done %s procs=%d ovh=%.2f%%\n", pt.Bench, pt.Procs, pt.OverheadPct)
+		return pt, nil
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
 	exp.WriteOverheadTable(os.Stdout,
 		fmt.Sprintf("Figure 15: online-coupling overhead at ratio 1:%d on %s (%d passes averaged)",

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro/internal/cliutil"
 	"repro/internal/exp"
@@ -30,6 +31,7 @@ func main() {
 		bytesFlag    = flag.String("bytes", "64M", "bytes streamed per writer (e.g. 64M, 1G)")
 		blockFlag    = flag.String("block", "1M", "stream block size")
 		platformFlag = flag.String("platform", "tera100", "platform model (tera100 or curie)")
+		jFlag        = flag.Int("j", 0, "parallel sweep workers (0 = all cores, 1 = serial); output is identical for any value")
 	)
 	flag.Parse()
 
@@ -54,11 +56,17 @@ func main() {
 		log.Fatal(err)
 	}
 
-	points, err := exp.StreamSweep(platform, writers, ratios, perWriter, block)
+	start := time.Now()
+	points, err := exp.StreamSweepJ(platform, writers, ratios, perWriter, block, *jFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
+	elapsed := time.Since(start)
 	exp.WriteStreamTable(os.Stdout, points)
+	// Engine wall-clock (host time, not simulated time) on stderr so the
+	// table on stdout stays byte-comparable across -j values.
+	fmt.Fprintf(os.Stderr, "streambench: %d points in %.2fs (%.2f points/sec)\n",
+		len(points), elapsed.Seconds(), float64(len(points))/elapsed.Seconds())
 
 	// Headline check mirroring the paper's text: best ratio-1 point vs the
 	// prorated filesystem bandwidth.

@@ -27,6 +27,7 @@ func main() {
 		procsFlag    = flag.String("procs", "256,1024,2025,4096", "process counts (snapped to squares)")
 		itersFlag    = flag.Int("iters", 12, "timesteps per run (0 = official SP.D count)")
 		platformFlag = flag.String("platform", "curie", "platform model (tera100 or curie)")
+		jFlag        = flag.Int("j", 0, "parallel sweep workers (0 = all cores, 1 = serial); output is identical for any value")
 	)
 	flag.Parse()
 
@@ -39,7 +40,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	points, err := exp.Fig16Sweep(platform, procs, *itersFlag)
+	points, err := exp.Fig16SweepJ(platform, procs, *itersFlag, *jFlag)
 	if err != nil {
 		log.Fatal(err)
 	}

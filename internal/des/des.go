@@ -20,7 +20,6 @@
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -53,35 +52,86 @@ func SecondsToDuration(s float64) time.Duration {
 	return time.Duration(s * 1e9)
 }
 
-// event is a scheduled occurrence. fire runs in the scheduler's goroutine;
-// it must not block other than by transferring control to a process.
+// event is a scheduled occurrence. Exactly one of proc, fn, or fire is set:
+// proc transfers control to a parked process (the overwhelmingly common
+// case — Sleep, Unpark, Spawn), fn runs a caller-supplied function with a
+// pre-boxed argument (AtCall, used by message delivery), and fire runs an
+// arbitrary closure (After/At). The specializations exist so the hot
+// scheduling paths allocate neither a closure nor, thanks to the
+// simulator's free list, the event itself. Callbacks run in the
+// scheduler's goroutine; they must not block other than by transferring
+// control to a process.
 type event struct {
 	at   Time
 	seq  uint64
+	proc *Proc
+	fn   func(any)
+	arg  any
 	fire func()
+	next *event // free-list link while recycled
 }
 
-// eventHeap orders events by (time, sequence), so simultaneous events fire
-// in schedule order.
+// less orders events by (time, sequence), so simultaneous events fire in
+// schedule order.
+func (e *event) less(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
+// eventHeap is a 4-ary min-heap of events. A wider node shrinks the tree:
+// compared with the binary container/heap it halves the sift-down depth and
+// keeps siblings on one cache line, and the hand-rolled methods avoid
+// container/heap's interface dispatch on every comparison. pop nils the
+// vacated tail slot so a fired event is not retained by the backing array.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (h *eventHeap) push(ev *event) {
+	q := append(*h, ev)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !q[i].less(q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
 	}
-	return h[i].seq < h[j].seq
+	*h = q
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+func (h *eventHeap) pop() *event {
+	q := *h
+	n := len(q) - 1
+	top := q[0]
+	q[0] = q[n]
+	q[n] = nil
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		c := i*4 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		hi := c + 4
+		if hi > n {
+			hi = n
+		}
+		for j := c + 1; j < hi; j++ {
+			if q[j].less(q[m]) {
+				m = j
+			}
+		}
+		if !q[m].less(q[i]) {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+	return top
 }
 
 // Simulator owns the virtual clock and the event queue. Create one with New,
@@ -96,6 +146,10 @@ type Simulator struct {
 	yield  chan yieldMsg
 	ran    bool
 	halted bool
+	// free is the event free list: fired events are recycled here instead
+	// of being left to the garbage collector, so steady-state scheduling
+	// (Sleep, Unpark, message delivery) allocates nothing.
+	free *event
 }
 
 type yieldMsg struct {
@@ -125,14 +179,46 @@ func (s *Simulator) Rand() *rand.Rand { return s.rng }
 // process parks. Remaining events are discarded.
 func (s *Simulator) Halt() { s.halted = true }
 
-// schedule registers fn to run at time at. If at is before the current time
-// it is clamped to now.
-func (s *Simulator) schedule(at Time, fn func()) {
+// alloc takes an event from the free list (or the allocator) and stamps
+// its (time, sequence) key, clamping past times to now.
+func (s *Simulator) alloc(at Time) *event {
+	ev := s.free
+	if ev != nil {
+		s.free = ev.next
+		ev.next = nil
+	} else {
+		ev = &event{}
+	}
 	if at < s.now {
 		at = s.now
 	}
 	s.seq++
-	heap.Push(&s.queue, &event{at: at, seq: s.seq, fire: fn})
+	ev.at, ev.seq = at, s.seq
+	return ev
+}
+
+// recycle returns a fired event to the free list.
+func (s *Simulator) recycle(ev *event) {
+	ev.proc, ev.fn, ev.arg, ev.fire = nil, nil, nil, nil
+	ev.next = s.free
+	s.free = ev
+}
+
+// schedule registers fn to run at time at. If at is before the current time
+// it is clamped to now.
+func (s *Simulator) schedule(at Time, fn func()) {
+	ev := s.alloc(at)
+	ev.fire = fn
+	s.queue.push(ev)
+}
+
+// scheduleProc registers a control transfer to p at time at. Unlike
+// schedule it captures no closure: the event carries the process pointer
+// directly, so the Sleep/Unpark hot path is allocation-free.
+func (s *Simulator) scheduleProc(at Time, p *Proc) {
+	ev := s.alloc(at)
+	ev.proc = p
+	s.queue.push(ev)
 }
 
 // After schedules fn to run d after the current virtual time. fn runs in
@@ -143,6 +229,16 @@ func (s *Simulator) After(d time.Duration, fn func()) {
 
 // At schedules fn to run at absolute virtual time at.
 func (s *Simulator) At(at Time, fn func()) { s.schedule(at, fn) }
+
+// AtCall schedules fn(arg) at absolute virtual time at. It exists for hot
+// callers (message delivery) that would otherwise allocate a fresh closure
+// per call: a shared top-level fn plus an already-heap-allocated arg
+// schedules with zero allocations once the free list is warm.
+func (s *Simulator) AtCall(at Time, fn func(any), arg any) {
+	ev := s.alloc(at)
+	ev.fn, ev.arg = fn, arg
+	s.queue.push(ev)
+}
 
 // Proc is a simulated process. All its methods must be called from the
 // process's own goroutine (inside the function passed to Spawn), except
@@ -201,7 +297,7 @@ func (s *Simulator) Spawn(name string, fn func(p *Proc)) *Proc {
 			fn(p)
 		}
 	}()
-	s.schedule(s.now, func() { s.transfer(p) })
+	s.scheduleProc(s.now, p)
 	return p
 }
 
@@ -222,7 +318,7 @@ func (p *Proc) Kill() {
 	}
 	p.killed = true
 	s := p.sim
-	s.schedule(s.now, func() { s.transfer(p) })
+	s.scheduleProc(s.now, p)
 }
 
 // transfer hands the scheduler's control to p and waits until p parks or
@@ -258,7 +354,7 @@ func (p *Proc) park(why string) {
 // chance to run at the same timestamp.
 func (p *Proc) Sleep(d time.Duration) {
 	s := p.sim
-	s.schedule(s.now+DurationToTime(d), func() { s.transfer(p) })
+	s.scheduleProc(s.now+DurationToTime(d), p)
 	p.park("sleep")
 }
 
@@ -266,7 +362,7 @@ func (p *Proc) Sleep(d time.Duration) {
 // the past).
 func (p *Proc) SleepUntil(at Time) {
 	s := p.sim
-	s.schedule(at, func() { s.transfer(p) })
+	s.scheduleProc(at, p)
 	p.park("sleep-until")
 }
 
@@ -285,7 +381,7 @@ func (p *Proc) Unpark() {
 		return
 	}
 	s := p.sim
-	s.schedule(s.now, func() { s.transfer(p) })
+	s.scheduleProc(s.now, p)
 }
 
 // DeadlockError is returned by Run when no events remain but live processes
@@ -311,9 +407,17 @@ func (s *Simulator) Run() error {
 	}
 	s.ran = true
 	for len(s.queue) > 0 && !s.halted {
-		ev := heap.Pop(&s.queue).(*event)
+		ev := s.queue.pop()
 		s.now = ev.at
-		ev.fire()
+		switch {
+		case ev.proc != nil:
+			s.transfer(ev.proc)
+		case ev.fn != nil:
+			ev.fn(ev.arg)
+		default:
+			ev.fire()
+		}
+		s.recycle(ev)
 	}
 	if !s.halted && s.live > 0 {
 		blocked := make([]string, 0, s.live)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/des"
+	"repro/internal/exp/runner"
 	"repro/internal/instrument"
 	"repro/internal/mpi"
 	"repro/internal/nas"
@@ -136,6 +137,7 @@ func runOnlineFaulty(p Platform, w *nas.Workload, ratio int, deadline time.Durat
 				}
 				res.analyzed += blk.Size
 				r.Compute(analysisCost(blk.Size))
+				blk.Release()
 			}
 			st.Close()
 		}},
@@ -166,6 +168,16 @@ const DefaultWriteDeadline = 250 * time.Millisecond
 // A deadline of 0 selects DefaultWriteDeadline (the seed's blocking
 // behavior is only reachable through the lower-level APIs).
 func FaultSweep(p Platform, w *nas.Workload, ratio int, failFracs []float64, killN int, deadline time.Duration) ([]FaultPoint, error) {
+	return FaultSweepJ(p, w, ratio, failFracs, killN, deadline, 1)
+}
+
+// FaultSweepJ is FaultSweep on j parallel workers (j <= 0 means
+// GOMAXPROCS). The reference and healthy runs are prerequisites for every
+// fault point (kill times are fractions of the healthy run time) and
+// execute first; the per-fraction faulty runs are then independent
+// simulations and fan out across the pool. Output is byte-identical to
+// the serial sweep.
+func FaultSweepJ(p Platform, w *nas.Workload, ratio int, failFracs []float64, killN int, deadline time.Duration, j int) ([]FaultPoint, error) {
 	if deadline <= 0 {
 		deadline = DefaultWriteDeadline
 	}
@@ -181,8 +193,8 @@ func FaultSweep(p Platform, w *nas.Workload, ratio int, failFracs []float64, kil
 		return nil, fmt.Errorf("exp: healthy coupled run of %s/%d: %w", w.Name, w.Procs, err)
 	}
 	analyzers := Readers(w.Procs, ratio)
-	var out []FaultPoint
-	for _, frac := range failFracs {
+	return runner.Run(len(failFracs), j, func(i int) (FaultPoint, error) {
+		frac := failFracs[i]
 		killAt := des.DurationToTime(time.Duration(frac * healthy.seconds * float64(time.Second)))
 		if killAt < des.DurationToTime(time.Millisecond) {
 			// The coupling handshake must finish before faults make sense;
@@ -191,7 +203,7 @@ func FaultSweep(p Platform, w *nas.Workload, ratio int, failFracs []float64, kil
 		}
 		faulty, err := runOnlineFaulty(p, w, ratio, deadline, killAt, killN, 1)
 		if err != nil {
-			return out, fmt.Errorf("exp: faulty run of %s/%d at frac %.2f: %w", w.Name, w.Procs, frac, err)
+			return FaultPoint{}, fmt.Errorf("exp: faulty run of %s/%d at frac %.2f: %w", w.Name, w.Procs, frac, err)
 		}
 		pt := FaultPoint{
 			Bench: w.Name, Procs: w.Procs, Ratio: ratio,
@@ -211,9 +223,8 @@ func FaultSweep(p Platform, w *nas.Workload, ratio int, failFracs []float64, kil
 		if healthy.analyzed > 0 {
 			pt.CompletenessPct = 100 * float64(faulty.analyzed) / float64(healthy.analyzed)
 		}
-		out = append(out, pt)
-	}
-	return out, nil
+		return pt, nil
+	})
 }
 
 // WriteFaultTable prints fault points as a report table.

@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/exp/runner"
 	"repro/internal/instrument"
 	"repro/internal/mpi"
 	"repro/internal/nas"
@@ -163,8 +164,10 @@ func runOnlineCost(p Platform, w *nas.Workload, ratio int, perEvent time.Duratio
 				if blk == nil {
 					break
 				}
-				// Unpack + analysis cost for the block.
+				// Unpack + analysis cost for the block; the bytes are not
+				// retained past this point, so recycle the payload.
 				r.Compute(analysisCost(blk.Size))
+				blk.Release()
 			}
 			st.Close()
 		}},
@@ -352,7 +355,16 @@ func Fig15Cases() []Fig15Case {
 // benchmark's constraint; unsupported/degenerate combinations are skipped,
 // as the paper omits them.
 func Fig15Sweep(p Platform, cases []Fig15Case, procsList []int, iters int) ([]OverheadPoint, error) {
-	var out []OverheadPoint
+	return Fig15SweepJ(p, cases, procsList, iters, 1)
+}
+
+// Fig15SweepJ is Fig15Sweep on j parallel workers (j <= 0 means
+// GOMAXPROCS). The case grid is resolved up front (snapping and skip
+// rules are cheap and order-dependent); the measurements then fan out,
+// one independent simulation set per grid point, yielding output
+// byte-identical to the serial sweep.
+func Fig15SweepJ(p Platform, cases []Fig15Case, procsList []int, iters, j int) ([]OverheadPoint, error) {
+	var grid []*nas.Workload
 	for _, c := range cases {
 		seen := map[int]bool{}
 		for _, procs := range procsList {
@@ -365,14 +377,12 @@ func Fig15Sweep(p Platform, cases []Fig15Case, procsList []int, iters int) ([]Ov
 			if err != nil {
 				continue
 			}
-			pt, err := MeasureOverheadAvg(p, w, ToolOnline, 1, 3)
-			if err != nil {
-				return out, err
-			}
-			out = append(out, pt)
+			grid = append(grid, w)
 		}
 	}
-	return out, nil
+	return runner.Run(len(grid), j, func(i int) (OverheadPoint, error) {
+		return MeasureOverheadAvg(p, grid[i], ToolOnline, 1, 3)
+	})
 }
 
 // Fig16Sweep measures SP.D under every tool configuration over the given
@@ -380,6 +390,16 @@ func Fig15Sweep(p Platform, cases []Fig15Case, procsList []int, iters int) ([]Ov
 // Curie. Reference runs are computed once per seed and shared across the
 // tools.
 func Fig16Sweep(p Platform, procsList []int, iters int) ([]OverheadPoint, error) {
+	return Fig16SweepJ(p, procsList, iters, 1)
+}
+
+// Fig16SweepJ is Fig16Sweep on j parallel workers (j <= 0 means
+// GOMAXPROCS). For each process count the per-seed reference runs fan
+// out first (the tool runs need them), then the tool×seed measurement
+// grid fans out; the per-tool averages are folded in seed order
+// afterwards, so the floating-point sums — and therefore the output —
+// are byte-identical to the serial sweep.
+func Fig16SweepJ(p Platform, procsList []int, iters, j int) ([]OverheadPoint, error) {
 	const repeats = 5
 	var out []OverheadPoint
 	for _, procs := range procsList {
@@ -388,19 +408,24 @@ func Fig16Sweep(p Platform, procsList []int, iters int) ([]OverheadPoint, error)
 		if err != nil {
 			return out, err
 		}
-		refs := make([]float64, repeats)
-		for sd := 0; sd < repeats; sd++ {
-			if refs[sd], err = runReferenceSeed(p, w, int64(sd+1)); err != nil {
-				return out, err
-			}
+		refs, err := runner.Run(repeats, j, func(sd int) (float64, error) {
+			return runReferenceSeed(p, w, int64(sd+1))
+		})
+		if err != nil {
+			return out, err
 		}
-		for _, tool := range Tools() {
+		tools := Tools()
+		pts, err := runner.Run(len(tools)*repeats, j, func(i int) (OverheadPoint, error) {
+			tool, sd := tools[i/repeats], i%repeats
+			return measureOverheadSeed(p, w, tool, 1, refs[sd], int64(sd+1))
+		})
+		if err != nil {
+			return out, err
+		}
+		for t := range tools {
 			var acc OverheadPoint
 			for sd := 0; sd < repeats; sd++ {
-				pt, err := measureOverheadSeed(p, w, tool, 1, refs[sd], int64(sd+1))
-				if err != nil {
-					return out, err
-				}
+				pt := pts[t*repeats+sd]
 				acc.Bench, acc.Procs, acc.Tool, acc.Ratio = pt.Bench, pt.Procs, pt.Tool, pt.Ratio
 				acc.RefSeconds += pt.RefSeconds
 				acc.Seconds += pt.Seconds
@@ -450,20 +475,26 @@ func humanBytes(b int64) string {
 // application's instrumentation bandwidth Bi, and grows once stream
 // back-pressure reaches the application.
 func RatioSweep(p Platform, w *nas.Workload, ratios []int) ([]OverheadPoint, error) {
+	return RatioSweepJ(p, w, ratios, 1)
+}
+
+// RatioSweepJ is RatioSweep on j parallel workers (j <= 0 means
+// GOMAXPROCS). The shared reference run executes first; the per-ratio
+// coupled runs are independent simulations and fan out. Output is
+// byte-identical to the serial sweep.
+func RatioSweepJ(p Platform, w *nas.Workload, ratios []int, j int) ([]OverheadPoint, error) {
 	ref, err := runReference(p, w)
 	if err != nil {
 		return nil, err
 	}
-	var out []OverheadPoint
+	var grid []int
 	for _, ratio := range ratios {
 		if ratio > w.Procs {
 			continue
 		}
-		pt, err := MeasureOverheadWithRef(p, w, ToolOnline, ratio, ref)
-		if err != nil {
-			return out, err
-		}
-		out = append(out, pt)
+		grid = append(grid, ratio)
 	}
-	return out, nil
+	return runner.Run(len(grid), j, func(i int) (OverheadPoint, error) {
+		return MeasureOverheadWithRef(p, w, ToolOnline, grid[i], ref)
+	})
 }

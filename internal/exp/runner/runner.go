@@ -1,0 +1,92 @@
+// Package runner executes independent experiment grid points on a worker
+// pool. Every sweep in this repository — stream throughput, overhead,
+// fault injection — is an embarrassingly parallel loop over simulations
+// that share no state: each point builds its own World, Simulator and
+// seeded RNG. The runner exploits that independence for wall-clock speed
+// while keeping the output indistinguishable from the serial loop:
+//
+//   - Results are ordered by point index, never by completion order.
+//   - On failure the first-erroring index wins (the error any serial run
+//     would have hit first), and exactly the points preceding it are
+//     returned — later results are discarded even if they finished.
+//
+// Because each point is deterministic given its parameters, a sweep run
+// with j workers is byte-identical to the same sweep run serially.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Run evaluates fn(0..n-1) on up to j concurrent workers and returns the
+// results in index order. j <= 0 selects runtime.GOMAXPROCS(0); j == 1 is
+// a plain inline loop with no goroutines (the serial path).
+//
+// If any point fails, Run returns the results of the points preceding the
+// lowest failing index together with that point's error, mirroring a
+// serial loop that stops at the first failure. Workers stop claiming
+// points beyond a known failure, so a bad grid fails fast instead of
+// burning cores on doomed points.
+func Run[T any](n, j int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if j <= 0 {
+		j = runtime.GOMAXPROCS(0)
+	}
+	if j > n {
+		j = n
+	}
+	if j == 1 {
+		out := make([]T, 0, n)
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return out, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+
+	results := make([]T, n)
+	errs := make([]error, n)
+	var next atomic.Int64
+	// firstErr tracks the lowest failing index (n = none yet). Indices
+	// beyond it would never have run serially, so workers skip them.
+	firstErr := atomic.Int64{}
+	firstErr.Store(int64(n))
+
+	var wg sync.WaitGroup
+	for w := 0; w < j; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || int64(i) > firstErr.Load() {
+					return
+				}
+				v, err := fn(i)
+				results[i] = v
+				if err != nil {
+					errs[i] = err
+					for {
+						cur := firstErr.Load()
+						if int64(i) >= cur || firstErr.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if i := int(firstErr.Load()); i < n {
+		return results[:i], errs[i]
+	}
+	return results, nil
+}

@@ -1,0 +1,124 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunOrdersResultsByIndex(t *testing.T) {
+	for _, j := range []int{0, 1, 2, 7, 64} {
+		out, err := Run(50, j, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("j=%d: %v", j, err)
+		}
+		if len(out) != 50 {
+			t.Fatalf("j=%d: got %d results", j, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("j=%d: out[%d] = %d, want %d", j, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunEmptyGrid(t *testing.T) {
+	out, err := Run(0, 4, func(i int) (int, error) { return 0, nil })
+	if err != nil || out != nil {
+		t.Fatalf("got (%v, %v), want (nil, nil)", out, err)
+	}
+}
+
+func TestRunFirstErrorWins(t *testing.T) {
+	// Indices 17 and 31 fail; the serial loop would have stopped at 17, so
+	// the parallel run must report 17's error with exactly 17 results —
+	// even when 31 fails first in wall-clock time.
+	fail := map[int]bool{17: true, 31: true}
+	for _, j := range []int{1, 2, 8} {
+		out, err := Run(40, j, func(i int) (int, error) {
+			if i == 17 {
+				time.Sleep(5 * time.Millisecond) // let 31 fail first
+			}
+			if fail[i] {
+				return 0, fmt.Errorf("point %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "point 17 failed" {
+			t.Fatalf("j=%d: err = %v, want point 17's", j, err)
+		}
+		if len(out) != 17 {
+			t.Fatalf("j=%d: got %d results with the error, want 17", j, len(out))
+		}
+		for i, v := range out {
+			if v != i {
+				t.Fatalf("j=%d: out[%d] = %d, want %d", j, i, v, i)
+			}
+		}
+	}
+}
+
+func TestRunStopsClaimingAfterError(t *testing.T) {
+	// After an early failure, workers must not chew through the rest of a
+	// large grid. Points are slow enough that the pool cannot drain the
+	// grid before observing the failure; a modest execution count proves
+	// claiming stopped early.
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	_, err := Run(10000, 4, func(i int) (int, error) {
+		ran.Add(1)
+		time.Sleep(100 * time.Microsecond)
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := ran.Load(); n > 1000 {
+		t.Errorf("%d points ran after an error at index 3; fail-fast is broken", n)
+	}
+}
+
+func TestRunSerialRunsInline(t *testing.T) {
+	// j == 1 must not spawn workers: fn failures surface immediately and
+	// later indices never run.
+	calls := 0
+	_, err := Run(10, 1, func(i int) (int, error) {
+		calls++
+		if i == 2 {
+			return 0, errors.New("stop")
+		}
+		return i, nil
+	})
+	if err == nil || calls != 3 {
+		t.Fatalf("serial path ran %d calls (err=%v), want 3 with an error", calls, err)
+	}
+}
+
+func TestRunParallelActuallyOverlaps(t *testing.T) {
+	// With j=4 and 4 points that each block until all 4 have started, the
+	// run only completes if the points truly execute concurrently.
+	started := make(chan struct{}, 4)
+	release := make(chan struct{})
+	var once atomic.Bool
+	_, err := Run(4, 4, func(i int) (int, error) {
+		started <- struct{}{}
+		if len(started) == 4 && once.CompareAndSwap(false, true) {
+			close(release)
+		}
+		select {
+		case <-release:
+			return i, nil
+		case <-time.After(5 * time.Second):
+			return 0, errors.New("points did not overlap")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/exp/runner"
 	"repro/internal/mpi"
 	"repro/internal/vmpi"
 )
@@ -110,6 +111,9 @@ func StreamThroughput(p Platform, writers, ratio int, perWriter, blockSize int64
 				if blk == nil {
 					break
 				}
+				// The benchmark only counts bytes; recycle the payload so
+				// writers draw from the shared pool instead of allocating.
+				blk.Release()
 			}
 			if err := st.Close(); err != nil {
 				fail(err)
@@ -137,20 +141,31 @@ func StreamThroughput(p Platform, writers, ratio int, perWriter, blockSize int64
 // StreamSweep runs StreamThroughput over the cross product of writer
 // counts and ratios (skipping ratios larger than the writer count).
 func StreamSweep(p Platform, writerCounts, ratios []int, perWriter, blockSize int64) ([]StreamPoint, error) {
-	var out []StreamPoint
+	return StreamSweepJ(p, writerCounts, ratios, perWriter, blockSize, 1)
+}
+
+// StreamSweepJ is StreamSweep on j parallel workers (j <= 0 means
+// GOMAXPROCS). Every grid point owns its simulation, so the output is
+// byte-identical to the serial sweep regardless of j.
+func StreamSweepJ(p Platform, writerCounts, ratios []int, perWriter, blockSize int64, j int) ([]StreamPoint, error) {
+	type gridPoint struct{ writers, ratio int }
+	var grid []gridPoint
 	for _, nw := range writerCounts {
 		for _, ratio := range ratios {
 			if ratio > nw {
 				continue
 			}
-			pt, err := StreamThroughput(p, nw, ratio, perWriter, blockSize)
-			if err != nil {
-				return out, fmt.Errorf("exp: stream point writers=%d ratio=%d: %w", nw, ratio, err)
-			}
-			out = append(out, pt)
+			grid = append(grid, gridPoint{nw, ratio})
 		}
 	}
-	return out, nil
+	return runner.Run(len(grid), j, func(i int) (StreamPoint, error) {
+		g := grid[i]
+		pt, err := StreamThroughput(p, g.writers, g.ratio, perWriter, blockSize)
+		if err != nil {
+			return StreamPoint{}, fmt.Errorf("exp: stream point writers=%d ratio=%d: %w", g.writers, g.ratio, err)
+		}
+		return pt, nil
+	})
 }
 
 // WriteStreamTable prints a sweep as the series of Figure 14.

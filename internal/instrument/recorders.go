@@ -343,6 +343,13 @@ func (o *OnlineRecorder) flush() {
 		// Every endpoint is quarantined; further packs would only be
 		// counted as drops. Reduce locally instead.
 		o.enterFallback()
+		return
+	}
+	if !o.sizeOnly {
+		// Start the next pack in a recycled payload buffer: once consumers
+		// release their blocks, the steady state allocates no pack storage
+		// at all.
+		o.builder.Reset(vmpi.GetBlock(o.builder.CapBytes()))
 	}
 }
 

@@ -24,22 +24,13 @@ func (r *Rank) Ssend(c *Comm, dst, tag int, size int64, payload []byte) {
 	}
 	dstGlobal := c.Global(dst)
 	_, delivered := w.net.Transfer(r.Now(), r.global, dstGlobal, size+w.cfg.Envelope)
-	msg := &message{srcLocal: srcLocal, tag: tag, comm: c.id, size: size, payload: payload, syncer: r.proc}
-	target := w.ranks[dstGlobal]
-	w.sim.At(delivered, func() {
-		if w.failed[dstGlobal] {
-			// The peer crashed: the message can never be matched. Release
-			// the synchronous sender rather than strand it.
-			if msg.syncer != nil {
-				msg.syncer.Unpark()
-				msg.syncer = nil
-			}
-			return
-		}
-		target.mailbox = append(target.mailbox, msg)
-		target.arrivalSeq++
-		target.arrival.Broadcast()
-	})
+	msg := w.newMessage()
+	msg.srcLocal, msg.tag, msg.comm, msg.size = srcLocal, tag, c.id, size
+	msg.payload = payload
+	msg.syncer = r.proc
+	msg.dst = w.ranks[dstGlobal]
+	// deliverMessage releases the syncer if the peer crashed in flight.
+	w.sim.AtCall(delivered, deliverMessage, msg)
 	// Park until the receiver matches the message.
 	r.proc.Park(fmt.Sprintf("ssend(dst=%d tag=%d comm=%d)", dst, tag, c.id))
 }

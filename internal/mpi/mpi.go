@@ -94,6 +94,7 @@ type World struct {
 	nextComm uint32
 	colls    map[collKey]*collState
 	splits   map[collKey]*splitState
+	msgFree  *message
 
 	finished   int
 	finishTime []des.Time
@@ -275,7 +276,10 @@ func (c *Comm) LocalOf(global int) int {
 	return -1
 }
 
-// message is an in-flight or queued point-to-point message.
+// message is an in-flight or queued point-to-point message. Messages are
+// pooled per world (newMessage/recycleMessage): a simulation moving
+// millions of blocks reuses a handful of structs instead of leaving every
+// envelope to the garbage collector.
 type message struct {
 	srcLocal int // sender's rank in the message's communicator
 	tag      int
@@ -285,6 +289,51 @@ type message struct {
 	// syncer, when non-nil, is the synchronous-mode sender parked until
 	// this message is matched (Ssend semantics).
 	syncer *des.Proc
+	// dst is the receiving rank, carried so the shared delivery callback
+	// (deliverMessage) needs no per-message closure.
+	dst *Rank
+	// next links the world's message free list while recycled.
+	next *message
+}
+
+// newMessage takes a message from the world's free list (or allocates one).
+func (w *World) newMessage() *message {
+	m := w.msgFree
+	if m != nil {
+		w.msgFree = m.next
+		m.next = nil
+	} else {
+		m = &message{}
+	}
+	return m
+}
+
+// recycleMessage clears a consumed message and returns it to the free
+// list. Callers must have copied out every field they need and released
+// any parked syncer first.
+func (w *World) recycleMessage(m *message) {
+	*m = message{next: w.msgFree}
+	w.msgFree = m
+}
+
+// deliverMessage runs in scheduler context at a message's delivery time
+// (scheduled via des.Simulator.AtCall, so delivery costs no closure).
+func deliverMessage(a any) {
+	msg := a.(*message)
+	t := msg.dst
+	if t.world.failed[t.global] {
+		// Delivered into the void: the peer crashed in flight. Release a
+		// parked synchronous sender rather than strand it.
+		if msg.syncer != nil {
+			msg.syncer.Unpark()
+			msg.syncer = nil
+		}
+		t.world.recycleMessage(msg)
+		return
+	}
+	t.mailbox = append(t.mailbox, msg)
+	t.arrivalSeq++
+	t.arrival.Broadcast()
 }
 
 // Status describes a completed receive.
@@ -367,15 +416,26 @@ func (r *Rank) overhead() { r.proc.Sleep(r.world.cfg.CallOverhead) }
 
 // Send performs a blocking standard-mode send of size bytes (payload may be
 // nil for size-only modeling) to rank dst of communicator c. Sends are
-// eager: the call returns once the message is injected.
+// eager: the call returns once the message is injected. The request lives
+// on the stack: a blocking send allocates nothing beyond the pooled
+// message envelope.
 func (r *Rank) Send(c *Comm, dst, tag int, size int64, payload []byte) {
 	r.overhead()
-	req := r.Isend(c, dst, tag, size, payload)
-	r.waitOne(req)
+	var req Request
+	r.isendInit(&req, c, dst, tag, size, payload)
+	r.waitOne(&req)
 }
 
 // Isend starts a non-blocking send and returns its request.
 func (r *Rank) Isend(c *Comm, dst, tag int, size int64, payload []byte) *Request {
+	req := new(Request)
+	r.isendInit(req, c, dst, tag, size, payload)
+	return req
+}
+
+// isendInit injects the message and fills req, without allocating the
+// request itself (Send keeps it on the stack).
+func (r *Rank) isendInit(req *Request, c *Comm, dst, tag int, size int64, payload []byte) {
 	if dst < 0 || dst >= c.Size() {
 		panic(fmt.Sprintf("mpi: Isend to invalid rank %d of comm size %d", dst, c.Size()))
 	}
@@ -386,34 +446,36 @@ func (r *Rank) Isend(c *Comm, dst, tag int, size int64, payload []byte) *Request
 	}
 	dstGlobal := c.Global(dst)
 	injected, delivered := w.net.Transfer(r.Now(), r.global, dstGlobal, size+w.cfg.Envelope)
-	msg := &message{srcLocal: srcLocal, tag: tag, comm: c.id, size: size, payload: payload}
-	target := w.ranks[dstGlobal]
-	w.sim.At(delivered, func() {
-		if w.failed[dstGlobal] {
-			return // delivered into the void: the peer crashed in flight
-		}
-		target.mailbox = append(target.mailbox, msg)
-		target.arrivalSeq++
-		target.arrival.Broadcast()
-	})
-	return &Request{rank: r, isSend: true, doneAt: injected}
+	msg := w.newMessage()
+	msg.srcLocal, msg.tag, msg.comm, msg.size = srcLocal, tag, c.id, size
+	msg.payload = payload
+	msg.dst = w.ranks[dstGlobal]
+	w.sim.AtCall(delivered, deliverMessage, msg)
+	*req = Request{rank: r, isSend: true, doneAt: injected}
 }
 
 // Irecv posts a non-blocking receive matching (src, tag) on communicator c.
 // Use AnySource / AnyTag as wildcards.
 func (r *Rank) Irecv(c *Comm, src, tag int) *Request {
+	req := new(Request)
+	r.irecvInit(req, c, src, tag)
+	return req
+}
+
+func (r *Rank) irecvInit(req *Request, c *Comm, src, tag int) {
 	if c.LocalOf(r.global) < 0 {
 		panic("mpi: Irecv on a communicator the receiver is not a member of")
 	}
-	return &Request{rank: r, comm: c, wantSrc: src, wantTag: tag}
+	*req = Request{rank: r, comm: c, wantSrc: src, wantTag: tag}
 }
 
 // Recv performs a blocking receive and returns the matched status and
-// payload.
+// payload. Like Send, the request stays on the stack.
 func (r *Rank) Recv(c *Comm, src, tag int) (Status, []byte) {
 	r.overhead()
-	req := r.Irecv(c, src, tag)
-	r.waitOne(req)
+	var req Request
+	r.irecvInit(&req, c, src, tag)
+	r.waitOne(&req)
 	return req.Status, req.Payload
 }
 
@@ -432,7 +494,8 @@ func (req *Request) matches(msg *message) bool {
 }
 
 // tryMatch scans the mailbox in arrival order for a message satisfying req,
-// removing and returning it.
+// removing it, copying its results into req, and recycling the envelope.
+// req.matched remains usable only as a completion flag afterwards.
 func (r *Rank) tryMatch(req *Request) bool {
 	for i, msg := range r.mailbox {
 		if req.matches(msg) {
@@ -446,6 +509,7 @@ func (r *Rank) tryMatch(req *Request) bool {
 				msg.syncer.Unpark() // release the synchronous sender
 				msg.syncer = nil
 			}
+			r.world.recycleMessage(msg)
 			return true
 		}
 	}
@@ -514,14 +578,21 @@ func (r *Rank) WaitArrival(seq uint64, why string) {
 }
 
 // Iprobe reports whether a message matching (src, tag) is available on c
-// without receiving it.
+// without receiving it. It allocates nothing: stream progress loops probe
+// on every iteration.
 func (r *Rank) Iprobe(c *Comm, src, tag int) (bool, Status) {
 	r.overhead()
-	probe := &Request{rank: r, comm: c, wantSrc: src, wantTag: tag}
 	for _, msg := range r.mailbox {
-		if probe.matches(msg) {
-			return true, Status{Source: msg.srcLocal, Tag: msg.tag, Size: msg.size}
+		if msg.comm != c.id {
+			continue
 		}
+		if src != AnySource && msg.srcLocal != src {
+			continue
+		}
+		if tag != AnyTag && msg.tag != tag {
+			continue
+		}
+		return true, Status{Source: msg.srcLocal, Tag: msg.tag, Size: msg.size}
 	}
 	return false, Status{}
 }
@@ -530,9 +601,10 @@ func (r *Rank) Iprobe(c *Comm, src, tag int) (bool, Status) {
 // call, like MPI_Sendrecv.
 func (r *Rank) SendRecv(c *Comm, dst, sendTag int, size int64, payload []byte, src, recvTag int) (Status, []byte) {
 	r.overhead()
-	sreq := r.Isend(c, dst, sendTag, size, payload)
-	rreq := r.Irecv(c, src, recvTag)
-	r.waitOne(rreq)
-	r.waitOne(sreq)
+	var sreq, rreq Request
+	r.isendInit(&sreq, c, dst, sendTag, size, payload)
+	r.irecvInit(&rreq, c, src, recvTag)
+	r.waitOne(&rreq)
+	r.waitOne(&sreq)
 	return rreq.Status, rreq.Payload
 }

@@ -213,8 +213,10 @@ type Header struct {
 
 // PackBuilder accumulates events into a bounded binary pack. When the pack
 // is full the caller takes the encoded bytes (Take) and streams them; the
-// builder then starts a fresh pack. The zero value is not usable — use
-// NewPackBuilder.
+// builder then starts a fresh pack, allocating its storage lazily on the
+// next Add — or reusing a recycled buffer handed to Reset, which is how
+// the online recorder keeps a steady-state stream to zero buffer
+// allocations. The zero value is not usable — use NewPackBuilder.
 type PackBuilder struct {
 	appID      uint32
 	srcRank    int32
@@ -234,20 +236,37 @@ func NewPackBuilder(appID uint32, srcRank int32, recordSize, packBytes int) *Pac
 	if packBytes < PackHeaderSize+recordSize {
 		packBytes = PackHeaderSize + recordSize
 	}
-	b := &PackBuilder{
+	return &PackBuilder{
 		appID:      appID,
 		srcRank:    srcRank,
 		recordSize: recordSize,
 		capBytes:   packBytes,
 	}
-	b.reset()
-	return b
 }
 
-func (b *PackBuilder) reset() {
-	b.buf = make([]byte, PackHeaderSize, b.capBytes)
+// Reset discards any pack under construction and starts a fresh one in
+// buf, reusing its storage. A nil (or too small) buf allocates fresh
+// storage instead, so Reset(nil) is simply "start over". Recycled buffers
+// may carry stale bytes: when records are padded past MinRecordSize the
+// padding region must read zero, so Reset clears the buffer in that case
+// (a memclr, still far cheaper than allocating and zeroing a fresh
+// buffer plus the eventual collection).
+func (b *PackBuilder) Reset(buf []byte) {
 	b.count = 0
+	if cap(buf) < b.capBytes {
+		b.buf = make([]byte, PackHeaderSize, b.capBytes)
+		return
+	}
+	buf = buf[:b.capBytes]
+	if b.recordSize > MinRecordSize {
+		clear(buf)
+	}
+	b.buf = buf[:PackHeaderSize]
 }
+
+// CapBytes returns the maximum encoded pack size, i.e. the buffer size a
+// recycled Reset buffer must have to be adopted.
+func (b *PackBuilder) CapBytes() int { return b.capBytes }
 
 // RecordSize returns the per-record size in bytes.
 func (b *PackBuilder) RecordSize() int { return b.recordSize }
@@ -256,15 +275,23 @@ func (b *PackBuilder) RecordSize() int { return b.recordSize }
 func (b *PackBuilder) Count() int { return b.count }
 
 // Len returns the current encoded size of the pack under construction.
-func (b *PackBuilder) Len() int { return len(b.buf) }
+func (b *PackBuilder) Len() int {
+	if b.buf == nil {
+		return PackHeaderSize
+	}
+	return len(b.buf)
+}
 
 // Add appends an event and reports whether the pack is now full (no room
 // for another record).
 func (b *PackBuilder) Add(e *Event) bool {
+	if b.buf == nil {
+		b.Reset(nil)
+	}
 	off := len(b.buf)
 	if need := off + b.recordSize; need <= cap(b.buf) {
-		// The backing array comes zeroed from make and record padding is
-		// never written, so reslicing suffices.
+		// The padding region beyond each 48-byte record is zeroed (by make
+		// or Reset) and never written, so reslicing suffices.
 		b.buf = b.buf[:need]
 	} else {
 		b.buf = append(b.buf, make([]byte, b.recordSize)...)
@@ -275,7 +302,9 @@ func (b *PackBuilder) Add(e *Event) bool {
 }
 
 // Take finalizes the pack under construction and returns its encoded bytes
-// (nil if it holds no events), then starts a fresh pack.
+// (nil if it holds no events), then starts a fresh pack. The next pack's
+// storage is allocated lazily, so a caller with a recycled buffer can
+// Reset into it without wasting an allocation.
 func (b *PackBuilder) Take() []byte {
 	if b.count == 0 {
 		return nil
@@ -287,7 +316,8 @@ func (b *PackBuilder) Take() []byte {
 	binary.LittleEndian.PutUint32(b.buf[16:], uint32(b.recordSize))
 	binary.LittleEndian.PutUint32(b.buf[20:], 0)
 	out := b.buf
-	b.reset()
+	b.buf = nil
+	b.count = 0
 	return out
 }
 

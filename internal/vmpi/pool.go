@@ -1,0 +1,60 @@
+package vmpi
+
+import "sync"
+
+// Stream block payloads are the largest per-operation allocations in the
+// system: the paper's configuration moves ≈1 MB packs at GB/s rates, and
+// leaving every block to the garbage collector makes the collector the
+// simulator's bottleneck long before the event queue is. The pool below
+// recycles payload buffers across writers and readers — the same
+// per-message buffer-reuse discipline MPI streaming runtimes apply to keep
+// the transport off the application's critical path.
+//
+// Ownership protocol: a producer obtains a buffer with GetBlock, fills it,
+// and hands it to Stream.Write; from that point the buffer belongs to the
+// transport and then to the consumer that receives it in a Block. A
+// consumer that is done with a block's bytes calls Block.Release to return
+// the buffer; a consumer that retains the bytes (e.g. posting them to an
+// asynchronous analysis pipeline) simply never releases, and the buffer
+// falls back to the garbage collector — reuse is an optimization, never an
+// obligation.
+//
+// The pool is shared process-wide: it is safe under the parallel sweep
+// runner, where many independent simulations run concurrently, because
+// buffers carry no simulation identity.
+var blockPool sync.Pool
+
+// GetBlock returns a payload buffer of length n. The contents are NOT
+// zeroed — recycled buffers carry stale bytes; callers that rely on zeroed
+// storage (e.g. record padding) must clear it themselves.
+func GetBlock(n int) []byte {
+	if v := blockPool.Get(); v != nil {
+		buf := *(v.(*[]byte))
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+		// Too small for this stream's block size: drop it and allocate.
+	}
+	return make([]byte, n)
+}
+
+// PutBlock returns a buffer to the pool. The caller must not touch buf
+// afterwards.
+func PutBlock(buf []byte) {
+	if cap(buf) == 0 {
+		return
+	}
+	buf = buf[:0]
+	blockPool.Put(&buf)
+}
+
+// Release returns the block's payload buffer to the shared pool and nils
+// it. Call it only as the payload's final owner: after Release the bytes
+// may be overwritten by any stream writer in the process. Releasing a
+// payload-less block (size-only transfers) is a no-op.
+func (b *Block) Release() {
+	if b.Payload != nil {
+		PutBlock(b.Payload)
+		b.Payload = nil
+	}
+}

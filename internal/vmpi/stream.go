@@ -125,6 +125,12 @@ type Stream struct {
 	nClosed int
 	rrRead  int
 
+	// Scratch storage reused across calls so the per-block hot paths do
+	// not allocate: readOrder's probe order and pickWritable's candidate
+	// set.
+	orderBuf []int
+	availBuf []int
+
 	stats StreamStats
 }
 
@@ -335,12 +341,13 @@ func (st *Stream) pickWritable() int {
 			}
 		}
 	case BalanceRandom:
-		var avail []int
+		avail := st.availBuf[:0]
 		for i := 0; i < n; i++ {
 			if st.credits[i] > 0 && !st.quarantined[i] {
 				avail = append(avail, i)
 			}
 		}
+		st.availBuf = avail
 		if len(avail) > 0 {
 			return avail[st.sess.rank.World().Sim().Rand().Intn(len(avail))]
 		}
@@ -418,10 +425,14 @@ func (st *Stream) Write(payload []byte, size int64) error {
 }
 
 // readOrder returns the writer indices in the order the balancing policy
-// wants them probed.
+// wants them probed. The returned slice is the stream's scratch buffer,
+// valid until the next call.
 func (st *Stream) readOrder() []int {
 	n := len(st.writers)
-	order := make([]int, n)
+	if cap(st.orderBuf) < n {
+		st.orderBuf = make([]int, n)
+	}
+	order := st.orderBuf[:n]
 	switch st.policy {
 	case BalanceRoundRobin:
 		for k := 0; k < n; k++ {
