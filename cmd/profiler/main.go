@@ -18,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -51,6 +52,8 @@ func main() {
 		exportFlag   = flag.String("export", "", "directory for selective otf2lite trace archives (one per app; empty = off)")
 		exportP2P    = flag.Bool("export-p2p-only", false, "export only point-to-point events")
 		platformFlag = flag.String("platform", "tera100", "platform model (tera100 or curie)")
+		telFlag      = flag.Bool("telemetry", false, "stream engine-health meta-events and append a health chapter + JSON summary")
+		telPeriod    = flag.Duration("telemetry-period", 0, "virtual-time sampling period for -telemetry (0 = 10ms)")
 	)
 	flag.Parse()
 
@@ -70,6 +73,8 @@ func main() {
 		TemporalWindowNs: temporalFlag.Nanoseconds(),
 		Callsites:        *sitesFlag,
 		Sizes:            *sizesFlag,
+		Telemetry:        *telFlag,
+		TelemetryPeriod:  *telPeriod,
 	}
 	if *exportFlag != "" {
 		if err := os.MkdirAll(*exportFlag, 0o755); err != nil {
@@ -132,6 +137,13 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "artifacts written to %s\n", *outFlag)
+	}
+	if *telFlag && rep.EngineHealth != nil {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep.EngineHealth.Summary()); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -32,6 +33,7 @@ func main() {
 		blockFlag    = flag.String("block", "1M", "stream block size")
 		platformFlag = flag.String("platform", "tera100", "platform model (tera100 or curie)")
 		jFlag        = flag.Int("j", 0, "parallel sweep workers (0 = all cores, 1 = serial); output is identical for any value")
+		telFlag      = flag.Bool("telemetry", false, "re-run the best 1:1 point with engine telemetry and print a JSON health summary")
 	)
 	flag.Parse()
 
@@ -79,5 +81,17 @@ func main() {
 	if best.Writers > 0 {
 		fmt.Printf("\nbest 1:1 point: %d writers + %d readers -> %.1f GB/s (prorated FS: %.1f GB/s)\n",
 			best.Writers, best.Readers, best.Throughput/1e9, best.FSShare/1e9)
+	}
+
+	if *telFlag && best.Writers > 0 {
+		_, sum, err := exp.StreamThroughputTelemetry(platform, best.Writers, best.Ratio, perWriter, block)
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

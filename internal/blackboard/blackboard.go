@@ -37,6 +37,9 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Type identifies a kind of data entry on the board. Use TypeID to derive
@@ -118,6 +121,10 @@ type ksState struct {
 	mu   sync.Mutex
 	pend [][]*Entry // one FIFO per sensitivity slot
 	jobs atomic.Int64
+	// lat is the KS's wall-clock job latency histogram, resolved once at
+	// Register time when telemetry is attached (nil otherwise — workers
+	// only pay a nil check).
+	lat *telemetry.Histogram
 }
 
 // job is one triggered operation.
@@ -176,7 +183,19 @@ type Blackboard struct {
 	panics   atomic.Int64
 	dropped  atomic.Int64
 
+	// tel mirrors the counters into a telemetry bundle when attached. An
+	// atomic pointer because workers read it concurrently with SetTelemetry.
+	tel atomic.Pointer[telemetry.BoardMetrics]
+
 	seed atomic.Int64
+}
+
+// SetTelemetry attaches a telemetry bundle (nil detaches). Attach before
+// registering knowledge sources: per-KS latency histograms are resolved at
+// Register time, so KSs registered earlier report counters but no latency
+// distribution.
+func (bb *Blackboard) SetTelemetry(m *telemetry.BoardMetrics) {
+	bb.tel.Store(m)
 }
 
 type jobFIFO struct {
@@ -239,6 +258,7 @@ func (bb *Blackboard) Register(ks KS) error {
 		return fmt.Errorf("blackboard: KS %q has no operation", ks.Name)
 	}
 	st := &ksState{ks: ks, pend: make([][]*Entry, len(ks.Sensitivities))}
+	st.lat = bb.tel.Load().KSLatency(ks.Name)
 	bb.mu.Lock()
 	defer bb.mu.Unlock()
 	if _, dup := bb.byName[ks.Name]; dup {
@@ -313,10 +333,12 @@ func (bb *Blackboard) PostEntry(e *Entry) {
 		// expected when an analyzer shuts down while writers are still
 		// draining in degraded mode.
 		bb.dropped.Add(1)
+		bb.tel.Load().OnDrop()
 		e.Release()
 		return
 	}
 	bb.posted.Add(1)
+	bb.tel.Load().OnPost()
 	bb.mu.RLock()
 	listeners := bb.bySens[e.Type]
 	// Snapshot: registration during posting affects later posts only.
@@ -377,7 +399,7 @@ func (bb *Blackboard) push(j job) {
 	q.mu.Lock()
 	q.jobs = append(q.jobs, j)
 	q.mu.Unlock()
-	bb.queued.Add(1)
+	bb.tel.Load().QueueDepth(bb.queued.Add(1))
 	bb.idleMu.Lock()
 	bb.idleCond.Signal()
 	bb.idleMu.Unlock()
@@ -400,7 +422,7 @@ func (bb *Blackboard) steal(rng *rand.Rand) (job, bool) {
 		q.mu.Lock()
 		if j, ok := q.pop(); ok {
 			q.mu.Unlock()
-			bb.queued.Add(-1)
+			bb.tel.Load().QueueDepth(bb.queued.Add(-1))
 			return j, true
 		}
 		q.mu.Unlock()
@@ -418,6 +440,7 @@ func (bb *Blackboard) worker(id int) {
 			// locks (paper §III-B). Re-checking the queued counter under
 			// idleMu makes the wait race-free against push's signal.
 			bb.backoffs.Add(1)
+			bb.tel.Load().OnBackoff(id)
 			bb.idleMu.Lock()
 			if bb.closed.Load() {
 				bb.idleMu.Unlock()
@@ -431,9 +454,16 @@ func (bb *Blackboard) worker(id int) {
 			bb.idleMu.Unlock()
 			continue
 		}
-		bb.runOp(j)
+		if j.st.lat != nil {
+			start := time.Now()
+			bb.runOp(j)
+			j.st.lat.Observe(int64(time.Since(start)))
+		} else {
+			bb.runOp(j)
+		}
 		j.st.jobs.Add(1)
 		bb.jobsDone.Add(1)
+		bb.tel.Load().OnJob(id)
 		for _, e := range j.inputs {
 			e.Release()
 		}

@@ -488,6 +488,74 @@ func TestFaultyKSIsolated(t *testing.T) {
 	}
 }
 
+func TestStatsConcurrentWithPosting(t *testing.T) {
+	// Stats() and KSJobs() are host-side observability calls; they must be
+	// safe (and monotone) while producers and workers are running, not just
+	// after Drain. Run under -race this also pins the counters' atomicity.
+	bb := New(Config{Workers: 8, Queues: 16})
+	defer bb.Close()
+	typ := TypeID("l", "n")
+	if err := bb.Register(KS{
+		Name:          "sink",
+		Sensitivities: []Type{typ},
+		Op:            func(_ *Blackboard, _ []*Entry) {},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const producers, per = 8, 500
+	stop := make(chan struct{})
+	polls := make(chan int, 1)
+	go func() {
+		n := 0
+		var lastPosted, lastJobs int64
+		for {
+			select {
+			case <-stop:
+				polls <- n
+				return
+			default:
+			}
+			st := bb.Stats()
+			jobs := bb.KSJobs("sink")
+			if st.Posted < lastPosted || jobs < lastJobs {
+				t.Error("stats went backwards under concurrency")
+				polls <- n
+				return
+			}
+			if st.Posted > producers*per || jobs > producers*per {
+				t.Errorf("stats overshot: posted=%d jobs=%d", st.Posted, jobs)
+				polls <- n
+				return
+			}
+			lastPosted, lastJobs = st.Posted, jobs
+			n++
+		}
+	}()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				bb.Post(typ, 8, int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	bb.Drain()
+	close(stop)
+	if n := <-polls; n == 0 {
+		t.Fatal("poller never observed the board")
+	}
+	st := bb.Stats()
+	if st.Posted != producers*per || st.Jobs != producers*per {
+		t.Fatalf("final stats = %+v, want %d posted and executed", st, producers*per)
+	}
+	if bb.KSJobs("sink") != producers*per {
+		t.Fatalf("KSJobs = %d, want %d", bb.KSJobs("sink"), producers*per)
+	}
+}
+
 func TestPostAfterCloseDropsAndCounts(t *testing.T) {
 	bb := New(Config{Workers: 1})
 	typ := TypeID("l", "late")

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/nas"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/vmpi"
 )
@@ -41,6 +43,14 @@ type ProfileOptions struct {
 	Export func(app string, m *analysis.ExportModule)
 	// ExportFilter selects the exported events (nil = everything).
 	ExportFilter func(*trace.Event) bool
+	// Telemetry enables engine self-telemetry: the coupling stack's own
+	// counters (streams, NIC, sinks, blackboard) are sampled into
+	// meta-events, streamed over a dedicated VMPI channel, unpacked by an
+	// engine-health KS in the same blackboard, and attached to the report.
+	Telemetry bool
+	// TelemetryPeriod is the snapshot cadence in virtual time
+	// (0 = the sampler's 10ms default).
+	TelemetryPeriod time.Duration
 }
 
 // ProfileRun executes one or more instrumented applications together with
@@ -77,9 +87,31 @@ func ProfileRun(p Platform, workloads []*nas.Workload, opts ProfileOptions) (*re
 
 	bb := blackboard.New(blackboard.Config{Workers: workers})
 	defer bb.Close()
+
+	// Telemetry wiring happens before any KS registration so per-KS
+	// latency histograms resolve at Register time.
+	var (
+		reg           *telemetry.Registry
+		health        *analysis.EngineHealthKS
+		streamMetrics *telemetry.StreamMetrics
+		sinkMetrics   *telemetry.SinkMetrics
+	)
+	if opts.Telemetry {
+		reg = telemetry.NewRegistry()
+		bb.SetTelemetry(telemetry.NewBoardMetrics(reg))
+		vmpi.RegisterPoolMetrics(reg)
+		streamMetrics = telemetry.NewStreamMetrics(reg)
+		sinkMetrics = telemetry.NewSinkMetrics(reg)
+	}
+
 	disp, err := analysis.NewDispatcher(bb)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Telemetry {
+		if health, err = analysis.NewEngineHealthKS(bb); err != nil {
+			return nil, err
+		}
 	}
 
 	var layout *vmpi.Layout
@@ -91,8 +123,8 @@ func ProfileRun(p Platform, workloads []*nas.Workload, opts ProfileOptions) (*re
 	}
 
 	programs := make([]mpi.Program, 0, len(workloads)+1)
-	for _, w := range workloads {
-		w := w
+	for i, w := range workloads {
+		i, w := i, w
 		programs = append(programs, mpi.Program{
 			Name: w.Name, Cmdline: "./" + w.Name, Procs: w.Procs,
 			Main: func(r *mpi.Rank) {
@@ -112,7 +144,37 @@ func ProfileRun(p Platform, workloads []*nas.Workload, opts ProfileOptions) (*re
 					return
 				}
 				m.SetRecorder(rec)
+				// Nil-safe: with telemetry disabled these attach nil
+				// handles, whose methods no-op.
+				rec.SetTelemetry(sinkMetrics.Shard(r.Global()))
+				rec.Stream().SetTelemetry(streamMetrics.Shard(r.Global()))
+				// One rank in the system carries the sampler: the first
+				// application's local rank 0 opens a write stream on the
+				// dedicated meta-event channel to analyzer rank 0 and emits
+				// snapshots as its own event flow advances virtual time.
+				var sampler *telemetry.Sampler
+				var telStream *vmpi.Stream
+				if opts.Telemetry && i == 0 && sess.LocalRank() == 0 {
+					ap := sess.Layout().DescByName("Analyzer")
+					telStream = vmpi.NewStream(sess, telemetry.SnapshotBlockSize, vmpi.BalanceNone)
+					telStream.SetChannel(telemetry.StreamChannel)
+					if err := telStream.OpenRanks([]int{ap.Globals[0]}, "w"); err != nil {
+						fail(err)
+						return
+					}
+					sampler = telemetry.NewSampler(reg, telStream, opts.TelemetryPeriod, r.Global())
+					sampler.SetBufferFunc(func(n int) []byte { return vmpi.GetBlock(n)[:0] })
+					rec.SetSampler(sampler)
+				}
 				w.Run(m)
+				if sampler != nil {
+					// Parting snapshot at the application's finish time,
+					// then release the analyzer's meta reader.
+					_ = sampler.Flush(r.Now())
+					if err := telStream.Close(); err != nil {
+						fail(err)
+					}
+				}
 			},
 		})
 	}
@@ -137,26 +199,85 @@ func ProfileRun(p Platform, workloads []*nas.Workload, opts ProfileOptions) (*re
 				fail(err)
 				return
 			}
-			for {
-				blk, err := st.Read(false)
-				if err != nil {
+			// With telemetry on, analyzer rank 0 additionally reads the
+			// meta-event channel written by the sampler.
+			var telSt *vmpi.Stream
+			if opts.Telemetry && sess.LocalRank() == 0 {
+				telSt = vmpi.NewStream(sess, telemetry.SnapshotBlockSize, vmpi.BalanceNone)
+				telSt.SetChannel(telemetry.StreamChannel)
+				if err := telSt.OpenRanks([]int{sess.Layout().Partition(0).Globals[0]}, "r"); err != nil {
 					fail(err)
 					return
 				}
-				if blk == nil {
-					break
+			}
+			if telSt == nil {
+				for {
+					blk, err := st.Read(false)
+					if err != nil {
+						fail(err)
+						return
+					}
+					if blk == nil {
+						break
+					}
+					// Post the pack on the shared blackboard (real bytes)
+					// and charge the modeled analysis time in the
+					// simulation.
+					disp.PostRaw(blk.Payload)
+					r.Compute(analysisCost(blk.Size))
 				}
-				// Post the pack on the shared blackboard (real bytes) and
-				// charge the modeled analysis time in the simulation.
-				disp.PostRaw(blk.Payload)
-				r.Compute(analysisCost(blk.Size))
+				st.Close()
+				return
+			}
+			// Dual-stream poll loop: data packs and meta-events are served
+			// as they arrive, parking only when neither stream has input.
+			dataOpen, telOpen := true, true
+			for dataOpen || telOpen {
+				seq := r.ArrivalSeq()
+				progress := false
+				if dataOpen {
+					blk, err := st.Read(true)
+					switch {
+					case err == nil && blk != nil:
+						disp.PostRaw(blk.Payload)
+						r.Compute(analysisCost(blk.Size))
+						progress = true
+					case err == nil:
+						dataOpen = false
+						progress = true
+					case !errors.Is(err, vmpi.ErrAgain):
+						fail(err)
+						return
+					}
+				}
+				if telOpen {
+					blk, err := telSt.Read(true)
+					switch {
+					case err == nil && blk != nil:
+						health.PostMeta(blk.Payload)
+						progress = true
+					case err == nil:
+						telOpen = false
+						progress = true
+					case !errors.Is(err, vmpi.ErrAgain):
+						fail(err)
+						return
+					}
+				}
+				if !progress {
+					r.WaitArrival(seq, "analyzer read (data+telemetry)")
+				}
 			}
 			st.Close()
+			telSt.Close()
 		},
 	})
 
 	world := mpi.NewWorld(p.MPIConfig(appProcs+analyzers), programs...)
 	layout = vmpi.NewLayout(world)
+	if opts.Telemetry {
+		world.AttachTelemetry(reg)
+	}
 
 	// Register one pipeline per application level before the run.
 	pipes := make([]*analysis.Pipeline, len(workloads))
@@ -223,13 +344,25 @@ func ProfileRun(p Platform, workloads []*nas.Workload, opts ProfileOptions) (*re
 	}
 	bb.Drain()
 
+	if opts.Telemetry {
+		// One final host-side snapshot captures end-of-run totals — the
+		// in-sim sampler's last snapshot predates the analysis tail (reads,
+		// blackboard jobs) it triggered. Source -1 marks the host.
+		final := reg.EncodeSnapshot(nil, uint64(health.Snapshots()), int64(world.Sim().Now()), -1)
+		health.PostMeta(final)
+		bb.Drain()
+	}
+
 	if opts.Export != nil {
 		for i, w := range workloads {
 			opts.Export(w.Name, exports[i])
 		}
 	}
 
-	rep := &report.Report{Title: fmt.Sprintf("online profiling report (%s)", p.Name)}
+	rep := &report.Report{
+		Title:        fmt.Sprintf("online profiling report (%s)", p.Name),
+		EngineHealth: health,
+	}
 	for i, w := range workloads {
 		rep.Chapters = append(rep.Chapters, &report.Chapter{
 			App:       w.Name,

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/exp/runner"
 	"repro/internal/mpi"
+	"repro/internal/telemetry"
 	"repro/internal/vmpi"
 )
 
@@ -45,7 +46,31 @@ func Readers(writers, ratio int) int {
 // to a reader partition sized by ratio, and the cumulative throughput is
 // measured.
 func StreamThroughput(p Platform, writers, ratio int, perWriter, blockSize int64) (StreamPoint, error) {
+	return streamThroughput(p, writers, ratio, perWriter, blockSize, nil)
+}
+
+// StreamThroughputTelemetry is StreamThroughput with engine telemetry
+// attached to every stream endpoint and the interconnect model; it
+// additionally returns the run's engine-health summary (credits in
+// flight, stalls, EAGAIN rate, NIC traffic, pool behavior).
+func StreamThroughputTelemetry(p Platform, writers, ratio int, perWriter, blockSize int64) (StreamPoint, telemetry.Summary, error) {
+	reg := telemetry.NewRegistry()
+	pt, err := streamThroughput(p, writers, ratio, perWriter, blockSize, reg)
+	if err != nil {
+		return StreamPoint{}, telemetry.Summary{}, err
+	}
+	var acc telemetry.Accumulator
+	acc.AddSnapshot(reg.Snapshot(0, int64(pt.Seconds*1e9), -1))
+	return pt, acc.Summary(), nil
+}
+
+func streamThroughput(p Platform, writers, ratio int, perWriter, blockSize int64, reg *telemetry.Registry) (StreamPoint, error) {
 	readers := Readers(writers, ratio)
+	// Nil-safe: with reg == nil the bundle is nil and every hook no-ops.
+	streamTel := telemetry.NewStreamMetrics(reg)
+	if reg != nil {
+		vmpi.RegisterPoolMetrics(reg)
+	}
 	blocks := int(perWriter / blockSize)
 	if blocks < 1 {
 		blocks = 1
@@ -70,6 +95,7 @@ func StreamThroughput(p Platform, writers, ratio int, perWriter, blockSize int64
 				return
 			}
 			st := vmpi.NewStream(sess, blockSize, vmpi.BalanceRoundRobin)
+			st.SetTelemetry(streamTel.Shard(r.Global()))
 			if err := st.OpenMap(&m, "w"); err != nil {
 				fail(err)
 				return
@@ -98,6 +124,7 @@ func StreamThroughput(p Platform, writers, ratio int, perWriter, blockSize int64
 				}
 			}
 			st := vmpi.NewStream(sess, blockSize, vmpi.BalanceRoundRobin)
+			st.SetTelemetry(streamTel.Shard(r.Global()))
 			if err := st.OpenMap(&m, "r"); err != nil {
 				fail(err)
 				return
@@ -121,6 +148,9 @@ func StreamThroughput(p Platform, writers, ratio int, perWriter, blockSize int64
 		}},
 	)
 	layout = vmpi.NewLayout(w)
+	if reg != nil {
+		w.AttachTelemetry(reg)
+	}
 	if err := w.Run(); err != nil {
 		return StreamPoint{}, err
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/mpi"
 	"repro/internal/simfs"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/vmpi"
 )
@@ -151,6 +152,11 @@ type OnlineRecorder struct {
 	recordSize int
 	packBytes  int
 	pendBytes  int
+	packEvents int
+
+	// Telemetry (nil when disabled — the nil checks are the whole cost).
+	tel     *telemetry.SinkMetrics
+	sampler *telemetry.Sampler
 
 	// Degraded-mode fallback: a ProfileRecorder-style local reduction
 	// covering events recorded after the stream died.
@@ -266,6 +272,17 @@ func (o *OnlineRecorder) FallbackProfile() CallProfile { return o.fallback }
 // StreamStats exposes the underlying stream's health counters.
 func (o *OnlineRecorder) StreamStats() vmpi.StreamStats { return o.stream.Stats() }
 
+// Stream exposes the underlying write stream (telemetry wiring).
+func (o *OnlineRecorder) Stream() *vmpi.Stream { return o.stream }
+
+// SetTelemetry attaches a sink telemetry bundle (nil allowed and free).
+func (o *OnlineRecorder) SetTelemetry(m *telemetry.SinkMetrics) { o.tel = m }
+
+// SetSampler attaches a telemetry sampler driven from this recorder's
+// event flow: each Record gives the sampler a chance to emit a snapshot at
+// the rank's current virtual time. Nil detaches.
+func (o *OnlineRecorder) SetSampler(s *telemetry.Sampler) { o.sampler = s }
+
 // WriteErr returns the stream error that forced fallback, if any. A
 // degraded-but-errorless stream (drops, no protocol error) leaves it nil.
 func (o *OnlineRecorder) WriteErr() error { return o.writeErr }
@@ -278,6 +295,8 @@ func (o *OnlineRecorder) enterFallback() {
 	o.fellBack = true
 	o.fallback = make(CallProfile)
 	o.pendBytes = 0
+	o.packEvents = 0
+	o.tel.OnFallback()
 	if o.builder != nil {
 		o.builder.Take() // discard the partial pack; its events are lost
 	}
@@ -287,12 +306,20 @@ func (o *OnlineRecorder) enterFallback() {
 func (o *OnlineRecorder) Record(ev *trace.Event) {
 	o.cost.charge()
 	o.events++
+	o.tel.OnEvent()
+	if o.sampler != nil {
+		// Sampling rides the recorder's event flow: overdue snapshots are
+		// emitted here, stamped with the rank's current virtual time. A
+		// failed snapshot write never fails the profiled run.
+		_ = o.sampler.Poll(o.sess.Rank().Now())
+	}
 	if o.fellBack {
 		if ev != nil {
 			o.fallback.Add(ev)
 		}
 		return
 	}
+	o.packEvents++
 	if o.sizeOnly {
 		// Fast path: overhead experiments observe virtual time only, so
 		// the pack is accounted, not encoded.
@@ -329,6 +356,8 @@ func (o *OnlineRecorder) flush() {
 		}
 		size = int64(len(payload))
 	}
+	o.tel.OnFlush(o.packEvents, size)
+	o.packEvents = 0
 	o.produced += size
 	o.cost.settle()
 	if err := o.stream.Write(payload, size); err != nil {

@@ -33,6 +33,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/simfs"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 )
 
 // Wildcards for Recv/Irecv source and tag matching.
@@ -167,6 +168,13 @@ func (w *World) Seed() int64 { return w.cfg.Seed }
 
 // Net exposes the interconnect model.
 func (w *World) Net() *simnet.Net { return w.net }
+
+// AttachTelemetry wires the world's interconnect model into a telemetry
+// registry: message/byte rates and NIC queue depth flow into the registry's
+// net.* instruments. A nil registry detaches (and is free).
+func (w *World) AttachTelemetry(reg *telemetry.Registry) {
+	w.net.SetTelemetry(telemetry.NewNetMetrics(reg))
+}
 
 // FS returns the attached filesystem model, or nil.
 func (w *World) FS() *simfs.FS { return w.fs }

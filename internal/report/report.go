@@ -325,6 +325,10 @@ type Report struct {
 	Title string
 	// Chapters holds one entry per application.
 	Chapters []*Chapter
+	// EngineHealth, when non-nil, adds the engine-health chapter: the
+	// coupling stack's self-telemetry accumulated from meta-events streamed
+	// over the engine's own VMPI channel.
+	EngineHealth *analysis.EngineHealthKS
 }
 
 // Render writes the report as structured text.
@@ -337,6 +341,34 @@ func (r *Report) Render(w io.Writer) error {
 		if err := ch.render(w); err != nil {
 			return err
 		}
+	}
+	if r.EngineHealth != nil {
+		if err := renderEngineHealth(w, r.EngineHealth); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// renderEngineHealth writes the engine-health chapter: one line per
+// telemetry series with a sparkline over the snapshot sequence. All-zero
+// series are elided — a healthy engine has no quarantines, and printing
+// forty flat lines would bury the live ones.
+func renderEngineHealth(w io.Writer, hk *analysis.EngineHealthKS) error {
+	fmt.Fprintf(w, "\n---- engine health (%d snapshots) ----\n", hk.Snapshots())
+	if hk.Snapshots() == 0 {
+		fmt.Fprintln(w, "no telemetry snapshots received")
+		return nil
+	}
+	fmt.Fprintf(w, "  %-32s %14s %14s  series\n", "metric", "last", "max")
+	for _, name := range hk.Acc.Names() {
+		values := hk.Acc.Values(name)
+		st := Stats(values)
+		if st.Max == 0 && st.Min == 0 {
+			continue
+		}
+		last := values[len(values)-1]
+		fmt.Fprintf(w, "  %-32s %14.4g %14.4g  |%s|\n", name, last, st.Max, Sparkline(values, 40))
 	}
 	return nil
 }

@@ -154,6 +154,60 @@ func TestHistoryRingBounded(t *testing.T) {
 	}
 }
 
+func TestHistoryCapShrinkBelowLength(t *testing.T) {
+	// Shrinking the cap to a nonzero value below the current length must
+	// evict exactly the oldest overflow and keep the newest results in
+	// order — the ring boundary the eviction loop has to get right.
+	s := New(exp.Tera100())
+	for i := 0; i < 5; i++ {
+		if _, err := s.Submit(smallJob(t, "LU", 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.SetHistoryCap(2)
+	h := s.History()
+	if len(h) != 2 || h[0].ID != 4 || h[1].ID != 5 {
+		t.Fatalf("history after shrink = %+v, want IDs 4,5", h)
+	}
+	if s.HistoryEvicted() != 3 {
+		t.Fatalf("evicted = %d, want 3", s.HistoryEvicted())
+	}
+	// Growing the cap back must not resurrect evicted results.
+	s.SetHistoryCap(10)
+	if h := s.History(); len(h) != 2 {
+		t.Fatalf("history after regrow = %d entries, want 2", len(h))
+	}
+	// New submissions fill the regrown ring normally.
+	if _, err := s.Submit(smallJob(t, "LU", 8)); err != nil {
+		t.Fatal(err)
+	}
+	if h := s.History(); len(h) != 3 || h[2].ID != 6 {
+		t.Fatalf("history = %+v", h)
+	}
+}
+
+func TestHistoryCapOne(t *testing.T) {
+	// A cap of 1 degenerates the ring to "latest result only": every
+	// submission evicts its predecessor.
+	s := New(exp.Tera100())
+	s.SetHistoryCap(1)
+	for i := 0; i < 3; i++ {
+		if _, err := s.Submit(smallJob(t, "EP", 4)); err != nil {
+			t.Fatal(err)
+		}
+		h := s.History()
+		if len(h) != 1 || h[0].ID != i+1 {
+			t.Fatalf("after submit %d: history = %+v, want only ID %d", i+1, h, i+1)
+		}
+	}
+	if s.HistoryEvicted() != 2 {
+		t.Fatalf("evicted = %d, want 2", s.HistoryEvicted())
+	}
+	if st := s.Stats(); st.Jobs != 3 {
+		t.Fatalf("stats.Jobs = %d, want 3 (eviction must not touch totals)", st.Jobs)
+	}
+}
+
 func TestStatsNotBlockedByRunningJob(t *testing.T) {
 	// Submit holds the run gate, not the bookkeeping mutex: Stats and
 	// History answer while a job is executing.

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/des"
+	"repro/internal/telemetry"
 )
 
 // Config describes the interconnect. The zero value is unusable; use
@@ -79,7 +80,13 @@ type Net struct {
 
 	bytesMoved int64
 	messages   int64
+	tel        *telemetry.NetMetrics
 }
+
+// SetTelemetry attaches a telemetry bundle (nil allowed and free): each
+// transfer then feeds message/byte counters and reports the sending NIC's
+// queue backlog in virtual nanoseconds.
+func (n *Net) SetTelemetry(m *telemetry.NetMetrics) { n.tel = m }
 
 // SetSpineFilter restricts the bisection cap to transfers for which fn
 // returns true. On a fat tree with (near-)full bisection, an application's
@@ -164,12 +171,14 @@ func (n *Net) Transfer(now des.Time, from, to int, size int64) (injected, delive
 		// Same node (including self-sends): shared-memory copy, no NIC.
 		d := n.serial(size, n.cfg.LocalCopyBandwidth)
 		end := now + des.DurationToTime(d)
+		n.tel.OnTransfer(size, 0)
 		return end, end
 	}
 	ser := n.serial(size, n.cfg.EndpointBandwidth)
 	serTx := time.Duration(float64(ser) * n.nodeFactor(fn))
 	serRx := time.Duration(float64(ser) * n.nodeFactor(tn))
 	injected = n.tx[fn].Next(now, serTx)
+	n.tel.OnTransfer(size, int64(injected-now))
 	cross := injected
 	if n.cfg.BisectionBandwidth > 0 && (n.spineSel == nil || n.spineSel(from, to)) {
 		cross = n.spine.Next(injected, n.serial(size, n.cfg.BisectionBandwidth))
@@ -184,5 +193,7 @@ func (n *Net) Transfer(now des.Time, from, to int, size int64) (injected, delive
 func (n *Net) InjectOnly(now des.Time, from int, size int64) des.Time {
 	n.bytesMoved += size
 	n.messages++
-	return n.tx[n.NodeOf(from)].Next(now, n.serial(size, n.cfg.EndpointBandwidth))
+	injected := n.tx[n.NodeOf(from)].Next(now, n.serial(size, n.cfg.EndpointBandwidth))
+	n.tel.OnTransfer(size, int64(injected-now))
+	return injected
 }

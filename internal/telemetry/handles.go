@@ -1,0 +1,330 @@
+package telemetry
+
+// Component bundles: one struct per instrumented layer, resolving its
+// instrument names once at construction so hot paths touch only nil-safe
+// pointers. Every constructor accepts a nil registry and returns nil; every
+// method accepts a nil receiver and no-ops with zero allocations — that is
+// the entire cost of disabled telemetry.
+
+// StreamMetrics instruments one side of the vmpi stream layer. Multi-rank
+// call sites use Shard to spread counter traffic.
+type StreamMetrics struct {
+	shard       int
+	blocksW     *Counter
+	bytesW      *Counter
+	blocksR     *Counter
+	bytesR      *Counter
+	stalls      *Counter
+	eagains     *Counter
+	quarantines *Counter
+	failovers   *Counter
+	drops       *Counter
+	credits     *Gauge
+}
+
+// NewStreamMetrics registers the stream instrument set on reg.
+func NewStreamMetrics(reg *Registry) *StreamMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &StreamMetrics{
+		blocksW:     reg.Counter("stream.blocks_written"),
+		bytesW:      reg.Counter("stream.bytes_written"),
+		blocksR:     reg.Counter("stream.blocks_read"),
+		bytesR:      reg.Counter("stream.bytes_read"),
+		stalls:      reg.Counter("stream.write_stalls"),
+		eagains:     reg.Counter("stream.eagain"),
+		quarantines: reg.Counter("stream.quarantines"),
+		failovers:   reg.Counter("stream.failovers"),
+		drops:       reg.Counter("stream.blocks_dropped"),
+		credits:     reg.Gauge("stream.credits_in_flight"),
+	}
+}
+
+// Shard returns a copy of the bundle whose counter writes land on the
+// shard derived from id (e.g. a global rank), so concurrent endpoints do
+// not contend on one cache line. The underlying instruments are shared.
+func (m *StreamMetrics) Shard(id int) *StreamMetrics {
+	if m == nil {
+		return nil
+	}
+	c := *m
+	c.shard = id
+	return &c
+}
+
+// OnWrite records one block of size bytes written.
+func (m *StreamMetrics) OnWrite(size int64) {
+	if m == nil {
+		return
+	}
+	m.blocksW.AddShard(m.shard, 1)
+	m.bytesW.AddShard(m.shard, size)
+}
+
+// OnRead records one block of size bytes read.
+func (m *StreamMetrics) OnRead(size int64) {
+	if m == nil {
+		return
+	}
+	m.blocksR.AddShard(m.shard, 1)
+	m.bytesR.AddShard(m.shard, size)
+}
+
+// OnWriteStall records one back-pressure stall.
+func (m *StreamMetrics) OnWriteStall() {
+	if m == nil {
+		return
+	}
+	m.stalls.AddShard(m.shard, 1)
+}
+
+// OnEAGAIN records one would-block nonblocking read.
+func (m *StreamMetrics) OnEAGAIN() {
+	if m == nil {
+		return
+	}
+	m.eagains.AddShard(m.shard, 1)
+}
+
+// OnQuarantine records one endpoint quarantined.
+func (m *StreamMetrics) OnQuarantine() {
+	if m == nil {
+		return
+	}
+	m.quarantines.AddShard(m.shard, 1)
+}
+
+// OnFailover records one write redirected to a failover endpoint.
+func (m *StreamMetrics) OnFailover() {
+	if m == nil {
+		return
+	}
+	m.failovers.AddShard(m.shard, 1)
+}
+
+// OnDrop records one block dropped in degraded mode.
+func (m *StreamMetrics) OnDrop() {
+	if m == nil {
+		return
+	}
+	m.drops.AddShard(m.shard, 1)
+}
+
+// CreditsInFlight records the writer's outstanding (unacknowledged) block
+// count; the gauge's high-water mark survives quiet sampling instants.
+func (m *StreamMetrics) CreditsInFlight(n int) {
+	if m == nil {
+		return
+	}
+	m.credits.Set(int64(n))
+}
+
+// NetMetrics instruments the simnet NIC/network model.
+type NetMetrics struct {
+	messages *Counter
+	bytes    *Counter
+	backlog  *Gauge
+}
+
+// NewNetMetrics registers the network instrument set on reg.
+func NewNetMetrics(reg *Registry) *NetMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &NetMetrics{
+		messages: reg.Counter("net.messages"),
+		bytes:    reg.Counter("net.bytes"),
+		backlog:  reg.Gauge("net.nic_backlog_ns"),
+	}
+}
+
+// OnTransfer records one message of size bytes whose sending NIC queue was
+// backlogNs of virtual time deep at injection.
+func (m *NetMetrics) OnTransfer(size int64, backlogNs int64) {
+	if m == nil {
+		return
+	}
+	m.messages.Add(1)
+	m.bytes.Add(size)
+	m.backlog.Set(backlogNs)
+}
+
+// EventsPerPackBounds buckets the sink's events-per-pack distribution.
+var EventsPerPackBounds = []int64{1, 16, 64, 256, 1024, 4096, 16384}
+
+// SinkMetrics instruments the instrument-layer event sinks (recorders).
+type SinkMetrics struct {
+	shard     int
+	events    *Counter
+	flushes   *Counter
+	packBytes *Counter
+	fallbacks *Counter
+	perPack   *Histogram
+}
+
+// NewSinkMetrics registers the sink instrument set on reg.
+func NewSinkMetrics(reg *Registry) *SinkMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &SinkMetrics{
+		events:    reg.Counter("sink.events"),
+		flushes:   reg.Counter("sink.pack_flushes"),
+		packBytes: reg.Counter("sink.pack_bytes"),
+		fallbacks: reg.Counter("sink.fallbacks"),
+		perPack:   reg.Histogram("sink.events_per_pack", EventsPerPackBounds),
+	}
+}
+
+// Shard returns a copy whose counter writes land on the shard derived
+// from id. The underlying instruments are shared.
+func (m *SinkMetrics) Shard(id int) *SinkMetrics {
+	if m == nil {
+		return nil
+	}
+	c := *m
+	c.shard = id
+	return &c
+}
+
+// OnEvent records one event recorded into the sink.
+func (m *SinkMetrics) OnEvent() {
+	if m == nil {
+		return
+	}
+	m.events.AddShard(m.shard, 1)
+}
+
+// OnFlush records one pack of events totaling bytes flushed to the stream.
+func (m *SinkMetrics) OnFlush(events int, bytes int64) {
+	if m == nil {
+		return
+	}
+	m.flushes.AddShard(m.shard, 1)
+	m.packBytes.AddShard(m.shard, bytes)
+	m.perPack.Observe(int64(events))
+}
+
+// OnFallback records one switch to the local-profile fallback.
+func (m *SinkMetrics) OnFallback() {
+	if m == nil {
+		return
+	}
+	m.fallbacks.AddShard(m.shard, 1)
+}
+
+// BoardMetrics instruments the blackboard: post/job/backoff rates, FIFO
+// depth, and per-KS job latency histograms.
+type BoardMetrics struct {
+	reg      *Registry
+	posted   *Counter
+	jobs     *Counter
+	backoffs *Counter
+	dropped  *Counter
+	depth    *Gauge
+}
+
+// NewBoardMetrics registers the blackboard instrument set on reg.
+func NewBoardMetrics(reg *Registry) *BoardMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &BoardMetrics{
+		reg:      reg,
+		posted:   reg.Counter("bb.posted"),
+		jobs:     reg.Counter("bb.jobs"),
+		backoffs: reg.Counter("bb.backoffs"),
+		dropped:  reg.Counter("bb.dropped"),
+		depth:    reg.Gauge("bb.queue_depth"),
+	}
+}
+
+// OnPost records one entry posted.
+func (m *BoardMetrics) OnPost() {
+	if m == nil {
+		return
+	}
+	m.posted.Add(1)
+}
+
+// OnJob records one KS job executed.
+func (m *BoardMetrics) OnJob(shard int) {
+	if m == nil {
+		return
+	}
+	m.jobs.AddShard(shard, 1)
+}
+
+// OnBackoff records one idle-worker backoff.
+func (m *BoardMetrics) OnBackoff(shard int) {
+	if m == nil {
+		return
+	}
+	m.backoffs.AddShard(shard, 1)
+}
+
+// OnDrop records one entry dropped after close.
+func (m *BoardMetrics) OnDrop() {
+	if m == nil {
+		return
+	}
+	m.dropped.Add(1)
+}
+
+// QueueDepth records the current job-FIFO depth.
+func (m *BoardMetrics) QueueDepth(n int64) {
+	if m == nil {
+		return
+	}
+	m.depth.Set(n)
+}
+
+// KSLatency returns (registering on first use) the wall-clock job latency
+// histogram for the named knowledge source. Nil bundle → nil histogram.
+func (m *BoardMetrics) KSLatency(name string) *Histogram {
+	if m == nil {
+		return nil
+	}
+	return m.reg.Histogram("bb.ks_latency."+name, LatencyBounds)
+}
+
+// ServiceMetrics instruments the profiling service front-end.
+type ServiceMetrics struct {
+	jobs    *Counter
+	apps    *Counter
+	events  *Counter
+	history *Gauge
+}
+
+// NewServiceMetrics registers the service instrument set on reg.
+func NewServiceMetrics(reg *Registry) *ServiceMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &ServiceMetrics{
+		jobs:    reg.Counter("service.jobs"),
+		apps:    reg.Counter("service.apps"),
+		events:  reg.Counter("service.events"),
+		history: reg.Gauge("service.history_len"),
+	}
+}
+
+// OnJob records one completed profiling job with its app count and total
+// recorded events.
+func (m *ServiceMetrics) OnJob(apps int, events int64) {
+	if m == nil {
+		return
+	}
+	m.jobs.Add(1)
+	m.apps.Add(int64(apps))
+	m.events.Add(events)
+}
+
+// HistoryLen records the current history-ring length.
+func (m *ServiceMetrics) HistoryLen(n int) {
+	if m == nil {
+		return
+	}
+	m.history.Set(int64(n))
+}

@@ -1,6 +1,11 @@
 package vmpi
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
 
 // Stream block payloads are the largest per-operation allocations in the
 // system: the paper's configuration moves ≈1 MB packs at GB/s rates, and
@@ -24,6 +29,27 @@ import "sync"
 // buffers carry no simulation identity.
 var blockPool sync.Pool
 
+// poolHits / poolMisses track pool effectiveness process-wide: a hit is a
+// GetBlock served from a recycled buffer, a miss had to allocate (empty
+// pool, or a recycled buffer too small for the requested size).
+var (
+	poolHits   atomic.Int64
+	poolMisses atomic.Int64
+)
+
+// PoolCounters returns the process-wide pool hit and miss counts.
+func PoolCounters() (hits, misses int64) {
+	return poolHits.Load(), poolMisses.Load()
+}
+
+// RegisterPoolMetrics surfaces the shared block pool through a telemetry
+// registry as callback gauges sampled at snapshot time (the pool is
+// process-global, so it cannot be written through a per-run handle).
+func RegisterPoolMetrics(reg *telemetry.Registry) {
+	reg.GaugeFunc("vmpi.pool_hits", func() int64 { return poolHits.Load() })
+	reg.GaugeFunc("vmpi.pool_misses", func() int64 { return poolMisses.Load() })
+}
+
 // GetBlock returns a payload buffer of length n. The contents are NOT
 // zeroed — recycled buffers carry stale bytes; callers that rely on zeroed
 // storage (e.g. record padding) must clear it themselves.
@@ -31,10 +57,12 @@ func GetBlock(n int) []byte {
 	if v := blockPool.Get(); v != nil {
 		buf := *(v.(*[]byte))
 		if cap(buf) >= n {
+			poolHits.Add(1)
 			return buf[:n]
 		}
 		// Too small for this stream's block size: drop it and allocate.
 	}
+	poolMisses.Add(1)
 	return make([]byte, n)
 }
 

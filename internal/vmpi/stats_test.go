@@ -1,0 +1,98 @@
+package vmpi
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestStreamStatsConcurrentWithRun pins the Stats() memory model: the
+// counters are atomics, so a host-side goroutine (a telemetry poller, a
+// progress bar) may sample a live stream while the simulation is still
+// writing it. Before the counters were atomic this test failed under
+// -race.
+func TestStreamStatsConcurrentWithRun(t *testing.T) {
+	const blocks = 500
+	streams := make(chan *Stream, 2)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		last := make(map[*Stream]int64)
+		for {
+			select {
+			case st := <-streams:
+				last[st] = 0
+			case <-stop:
+				return
+			default:
+			}
+			for st, prev := range last {
+				s := st.Stats()
+				if s.BlocksWritten < prev {
+					t.Error("BlocksWritten went backwards")
+					return
+				}
+				last[st] = s.BlocksWritten
+			}
+		}
+	}()
+
+	l, err := launch(
+		progSpec{"w", 1, func(s *Session) {
+			var m Map
+			if err := s.MapPartitions(1, MapRoundRobin, &m); err != nil {
+				t.Error(err)
+				return
+			}
+			st := NewStream(s, 1024, BalanceRoundRobin)
+			streams <- st
+			if err := st.OpenMap(&m, "w"); err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < blocks; i++ {
+				if err := st.Write(nil, 1024); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := st.Close(); err != nil {
+				t.Error(err)
+			}
+		}},
+		progSpec{"r", 1, func(s *Session) {
+			var m Map
+			if err := s.MapPartitions(0, MapRoundRobin, &m); err != nil {
+				t.Error(err)
+				return
+			}
+			st := NewStream(s, 1024, BalanceRoundRobin)
+			streams <- st
+			if err := st.OpenMap(&m, "r"); err != nil {
+				t.Error(err)
+				return
+			}
+			for {
+				blk, err := st.Read(false)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if blk == nil {
+					break
+				}
+				blk.Release()
+			}
+			if err := st.Close(); err != nil {
+				t.Error(err)
+			}
+		}},
+	)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = l
+}

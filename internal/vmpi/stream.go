@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/des"
 	"repro/internal/mpi"
+	"repro/internal/telemetry"
 )
 
 // Buffering constants from the paper's Figure 9: NA receive buffers per
@@ -62,7 +64,23 @@ type Block struct {
 	Payload []byte
 }
 
-// StreamStats accumulates per-endpoint counters.
+// streamCounters is the endpoint's live counter storage. The stream's own
+// operations run in simulation context (one Proc at a time), but Stats()
+// may be polled concurrently by host-side observers and the telemetry
+// sampler, so every counter is atomic.
+type streamCounters struct {
+	blocksWritten atomic.Int64
+	bytesWritten  atomic.Int64
+	blocksRead    atomic.Int64
+	bytesRead     atomic.Int64
+	writeStalls   atomic.Int64
+	eagains       atomic.Int64
+	quarantines   atomic.Int64
+	failovers     atomic.Int64
+	blocksDropped atomic.Int64
+}
+
+// StreamStats is a point-in-time copy of an endpoint's counters.
 type StreamStats struct {
 	// BlocksWritten / BytesWritten count completed writes.
 	BlocksWritten int64
@@ -131,7 +149,8 @@ type Stream struct {
 	orderBuf []int
 	availBuf []int
 
-	stats StreamStats
+	stats streamCounters
+	tel   *telemetry.StreamMetrics
 }
 
 // SetWindow overrides the stream's asynchronous buffer counts before
@@ -168,8 +187,29 @@ func (st *Stream) SetChannel(ch int) {
 	st.channel = ch
 }
 
-// Stats returns a copy of the endpoint's counters.
-func (st *Stream) Stats() StreamStats { return st.stats }
+// Stats returns a consistent-enough copy of the endpoint's counters. Each
+// counter is loaded atomically, so Stats is safe to call from any
+// goroutine (telemetry samplers, host-side observers) while the endpoint
+// is live.
+func (st *Stream) Stats() StreamStats {
+	return StreamStats{
+		BlocksWritten: st.stats.blocksWritten.Load(),
+		BytesWritten:  st.stats.bytesWritten.Load(),
+		BlocksRead:    st.stats.blocksRead.Load(),
+		BytesRead:     st.stats.bytesRead.Load(),
+		WriteStalls:   st.stats.writeStalls.Load(),
+		EAGAINs:       st.stats.eagains.Load(),
+		Quarantines:   st.stats.quarantines.Load(),
+		Failovers:     st.stats.failovers.Load(),
+		BlocksDropped: st.stats.blocksDropped.Load(),
+	}
+}
+
+// SetTelemetry attaches a telemetry bundle (nil allowed and free): from
+// then on the endpoint mirrors its counters into the bundle's shared
+// instruments and reports its credit window to the credits-in-flight
+// gauge.
+func (st *Stream) SetTelemetry(m *telemetry.StreamMetrics) { st.tel = m }
 
 // BlockSize returns the stream's block size.
 func (st *Stream) BlockSize() int64 { return st.blockSize }
@@ -256,9 +296,11 @@ func (st *Stream) quarantine(i int) {
 	}
 	st.quarantined[i] = true
 	st.nQuarantined++
-	st.stats.Quarantines++
+	st.stats.quarantines.Add(1)
+	st.tel.OnQuarantine()
 	st.outstanding -= st.na - st.credits[i]
 	st.credits[i] = 0
+	st.tel.CreditsInFlight(st.outstanding)
 	if st.nQuarantined == len(st.peers) {
 		st.degraded = true
 	}
@@ -298,6 +340,7 @@ func (st *Stream) drainControl() error {
 		}
 		st.credits[i]++
 		st.outstanding--
+		st.tel.CreditsInFlight(st.outstanding)
 	}
 	for {
 		ok, status := r.Iprobe(u, mpi.AnySource, st.tagReaderClose())
@@ -389,7 +432,8 @@ func (st *Stream) Write(payload []byte, size int64) error {
 			return err
 		}
 		if st.degraded {
-			st.stats.BlocksDropped++
+			st.stats.blocksDropped.Add(1)
+			st.tel.OnDrop()
 			return nil
 		}
 		if st.outstanding < st.naOut {
@@ -407,15 +451,19 @@ func (st *Stream) Write(payload []byte, size int64) error {
 				if st.policy == BalanceRoundRobin {
 					st.rr = (i + 1) % len(st.peers)
 				}
-				st.stats.BlocksWritten++
-				st.stats.BytesWritten += size
+				st.stats.blocksWritten.Add(1)
+				st.stats.bytesWritten.Add(size)
+				st.tel.OnWrite(size)
+				st.tel.CreditsInFlight(st.outstanding)
 				if st.nQuarantined > 0 {
-					st.stats.Failovers++
+					st.stats.failovers.Add(1)
+					st.tel.OnFailover()
 				}
 				return nil
 			}
 		}
-		st.stats.WriteStalls++
+		st.stats.writeStalls.Add(1)
+		st.tel.OnWriteStall()
 		if deadline > 0 && r.Now() >= deadline {
 			st.quarantineStalled()
 			continue
@@ -501,7 +549,8 @@ func (st *Stream) Read(nonblock bool) (*Block, error) {
 			if !st.closed[i] && w.RankFailed(wrt) {
 				st.closed[i] = true
 				st.nClosed++
-				st.stats.Quarantines++
+				st.stats.quarantines.Add(1)
+				st.tel.OnQuarantine()
 			}
 		}
 		if blk := st.takeData(); blk != nil {
@@ -511,7 +560,8 @@ func (st *Stream) Read(nonblock bool) (*Block, error) {
 			return nil, nil // all remote streams closed
 		}
 		if nonblock {
-			st.stats.EAGAINs++
+			st.stats.eagains.Add(1)
+			st.tel.OnEAGAIN()
 			return nil, ErrAgain
 		}
 		r.WaitArrival(seq, "vmpi stream read")
@@ -547,8 +597,9 @@ func (st *Stream) takeData() *Block {
 // accounts the block.
 func (st *Stream) finishRead(status mpi.Status, payload []byte) *Block {
 	st.sess.rank.Send(st.sess.Universe(), status.Source, st.tagCredit(), 0, nil)
-	st.stats.BlocksRead++
-	st.stats.BytesRead += status.Size
+	st.stats.blocksRead.Add(1)
+	st.stats.bytesRead.Add(status.Size)
+	st.tel.OnRead(status.Size)
 	return &Block{From: status.Source, Size: status.Size, Payload: payload}
 }
 
