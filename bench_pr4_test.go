@@ -1,0 +1,202 @@
+package repro
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/trace"
+)
+
+type codecPoint struct {
+	RecordSize      int     `json:"record_size"`
+	Events          int     `json:"events"`
+	V1Bytes         int64   `json:"v1_bytes"`
+	V2Bytes         int64   `json:"v2_bytes"`
+	V1BytesPerEvent float64 `json:"v1_bytes_per_event"`
+	V2BytesPerEvent float64 `json:"v2_bytes_per_event"`
+	ReductionPct    float64 `json:"reduction_pct"`
+	EncodeNsPerEv   float64 `json:"encode_ns_per_event"`
+	DecodeNsPerEv   float64 `json:"decode_ns_per_event"`
+}
+
+type packedPoint struct {
+	PackVersion  int     `json:"pack_version"`
+	Writers      int     `json:"writers"`
+	Ratio        int     `json:"ratio"`
+	WireBytes    int64   `json:"wire_bytes"`
+	LogicalBytes int64   `json:"logical_bytes"`
+	Events       int64   `json:"events"`
+	GBPerSec     float64 `json:"gb_per_s"`
+	EventsPerSec float64 `json:"events_per_s"`
+	Compression  float64 `json:"compression_ratio"`
+}
+
+type benchRecordPR4 struct {
+	Benchmark string        `json:"benchmark"`
+	Workload  string        `json:"workload"`
+	GoVersion string        `json:"go_version"`
+	Codec     []codecPoint  `json:"codec"`
+	Streamed  []packedPoint `json:"streamed"`
+}
+
+// encodeFig14 runs n Fig14 events through a pack codec with blockSize
+// capacity, returning total encoded bytes and encode+decode wall time.
+// Every pack is decoded and verified against the input.
+func encodeFig14(t *testing.T, version, recordSize, n int) (bytes int64, encNs, decNs int64) {
+	t.Helper()
+	b, err := trace.NewBuilder(version, 1, 0, recordSize, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var packs [][]byte
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		ev := exp.Fig14Event(i, 0)
+		if b.Add(&ev) {
+			packs = append(packs, b.Take())
+		}
+	}
+	if p := b.Take(); p != nil {
+		packs = append(packs, p)
+	}
+	encNs = time.Since(start).Nanoseconds()
+	var r trace.PackReader
+	decoded := 0
+	start = time.Now()
+	for _, p := range packs {
+		bytes += int64(len(p))
+		if err := r.Init(p); err != nil {
+			t.Fatal(err)
+		}
+		for r.Next() {
+			decoded++
+		}
+		if err := r.Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	decNs = time.Since(start).Nanoseconds()
+	if decoded != n {
+		t.Fatalf("v%d decoded %d of %d events", version, decoded, n)
+	}
+	return bytes, encNs, decNs
+}
+
+// TestRecordPackV2Bench is PR4's acceptance gate and bench recorder. It
+// always asserts the headline bound — the v2 codec cuts bytes per event by
+// at least 35 % vs the embedded v1 measurement on the Fig14 workload, for
+// both the raw 48-byte record and the paper's padded 256-byte record — and
+// that the streaming decode path stays allocation-free. With RECORD_BENCH
+// set it additionally writes results/BENCH_PR4.json (the CI bench job's
+// recorder); without it, short mode skips.
+func TestRecordPackV2Bench(t *testing.T) {
+	record := os.Getenv("RECORD_BENCH") != ""
+	if !record && testing.Short() {
+		t.Skip("short mode and RECORD_BENCH unset")
+	}
+	rec := benchRecordPR4{
+		Benchmark: "TestRecordPackV2Bench",
+		Workload:  "deterministic Fig14 event stream (exp.Fig14Event), 200k events/point",
+		GoVersion: runtime.Version(),
+	}
+	const n = 200_000
+	for _, recordSize := range []int{trace.MinRecordSize, exp.EventRecordSize} {
+		v1Bytes, _, _ := encodeFig14(t, trace.PackV1, recordSize, n)
+		v2Bytes, encNs, decNs := encodeFig14(t, trace.PackV2, recordSize, n)
+		cp := codecPoint{
+			RecordSize:      recordSize,
+			Events:          n,
+			V1Bytes:         v1Bytes,
+			V2Bytes:         v2Bytes,
+			V1BytesPerEvent: float64(v1Bytes) / n,
+			V2BytesPerEvent: float64(v2Bytes) / n,
+			ReductionPct:    100 * (1 - float64(v2Bytes)/float64(v1Bytes)),
+			EncodeNsPerEv:   float64(encNs) / n,
+			DecodeNsPerEv:   float64(decNs) / n,
+		}
+		// The enforced minimum is 35 %; the measured reduction on this
+		// workload is far higher (the margin absorbs codec tuning).
+		if cp.ReductionPct < 35 {
+			t.Errorf("recordSize=%d: v2 %.1f B/event vs v1 %.1f B/event — %.1f%% reduction, want >= 35%%",
+				recordSize, cp.V2BytesPerEvent, cp.V1BytesPerEvent, cp.ReductionPct)
+		}
+		rec.Codec = append(rec.Codec, cp)
+	}
+
+	// Zero allocations per decoded event on the hot loop (the PackReader
+	// guard also runs in internal/trace; asserting here keeps the
+	// acceptance criteria in one test).
+	b := trace.NewPackBuilderV2(1, 0, trace.MinRecordSize, 1<<16)
+	for i := 0; i < 1000; i++ {
+		ev := exp.Fig14Event(i, 0)
+		if b.Add(&ev) {
+			break
+		}
+	}
+	pack := b.Take()
+	var r trace.PackReader
+	if err := r.Init(pack); err != nil { // warm the dictionary scratch
+		t.Fatal(err)
+	}
+	var sum int64
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := r.Init(pack); err != nil {
+			t.Error(err)
+			return
+		}
+		for r.Next() {
+			sum += r.Event().Size
+		}
+	})
+	_ = sum
+	if allocs != 0 {
+		t.Errorf("PackReader decode loop allocated %.1f objects per run, want 0", allocs)
+	}
+
+	// End-to-end: the same workload through the VMPI coupling, v1 vs v2,
+	// so the reduction shows up as wire volume and event rate.
+	for _, version := range []int{trace.PackV1, trace.PackV2} {
+		pt, err := exp.StreamThroughputPacked(exp.Tera100(), 64, 4, 4<<20, 1<<20, exp.EventRecordSize, version)
+		if err != nil {
+			t.Fatalf("packed stream v%d: %v", version, err)
+		}
+		rec.Streamed = append(rec.Streamed, packedPoint{
+			PackVersion:  version,
+			Writers:      pt.Writers,
+			Ratio:        pt.Ratio,
+			WireBytes:    pt.WireBytes,
+			LogicalBytes: pt.LogicalBytes,
+			Events:       pt.Events,
+			GBPerSec:     pt.Throughput / 1e9,
+			EventsPerSec: pt.EventRate,
+			Compression:  pt.CompressionRatio(),
+		})
+	}
+	v1, v2 := rec.Streamed[0], rec.Streamed[1]
+	if v2.WireBytes >= v1.WireBytes {
+		t.Errorf("streamed v2 wire volume %d not below v1's %d", v2.WireBytes, v1.WireBytes)
+	}
+	if 100*(1-float64(v2.WireBytes)/float64(v2.LogicalBytes)) < 35 {
+		t.Errorf("streamed v2 reduction %.1f%% below the 35%% bound",
+			100*(1-float64(v2.WireBytes)/float64(v2.LogicalBytes)))
+	}
+
+	if !record {
+		return
+	}
+	buf, err := json.MarshalIndent(&rec, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll("results", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("results/BENCH_PR4.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote results/BENCH_PR4.json (%d codec points, %d streamed points)", len(rec.Codec), len(rec.Streamed))
+}

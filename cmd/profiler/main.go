@@ -54,6 +54,7 @@ func main() {
 		platformFlag = flag.String("platform", "tera100", "platform model (tera100 or curie)")
 		telFlag      = flag.Bool("telemetry", false, "stream engine-health meta-events and append a health chapter + JSON summary")
 		telPeriod    = flag.Duration("telemetry-period", 0, "virtual-time sampling period for -telemetry (0 = 10ms)")
+		packv2Flag   = flag.Bool("packv2", false, "stream event packs in the compact v2 wire format (default: v1 fixed records, the seed behavior)")
 	)
 	flag.Parse()
 
@@ -73,6 +74,7 @@ func main() {
 		TemporalWindowNs: temporalFlag.Nanoseconds(),
 		Callsites:        *sitesFlag,
 		Sizes:            *sizesFlag,
+		PackV2:           *packv2Flag,
 		Telemetry:        *telFlag,
 		TelemetryPeriod:  *telPeriod,
 	}

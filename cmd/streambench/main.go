@@ -21,6 +21,8 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/exp"
+	"repro/internal/exp/runner"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -34,6 +36,7 @@ func main() {
 		platformFlag = flag.String("platform", "tera100", "platform model (tera100 or curie)")
 		jFlag        = flag.Int("j", 0, "parallel sweep workers (0 = all cores, 1 = serial); output is identical for any value")
 		telFlag      = flag.Bool("telemetry", false, "re-run the best 1:1 point with engine telemetry and print a JSON health summary")
+		packv2Flag   = flag.Bool("packv2", false, "stream real event packs in the compact v2 wire format (default: size-only v1 blocks, the seed behavior)")
 	)
 	flag.Parse()
 
@@ -59,9 +62,44 @@ func main() {
 	}
 
 	start := time.Now()
-	points, err := exp.StreamSweepJ(platform, writers, ratios, perWriter, block, *jFlag)
-	if err != nil {
-		log.Fatal(err)
+	var points []exp.StreamPoint
+	if *packv2Flag {
+		// Packed mode: writers encode the deterministic Fig14 workload
+		// through the v2 codec and readers decode every block, so the
+		// compression shows up in the simulated GB/s. The stdout table keeps
+		// the Figure 14 format; wire volume and ratio go to stderr.
+		type gridPoint struct{ writers, ratio int }
+		var grid []gridPoint
+		for _, nw := range writers {
+			for _, ratio := range ratios {
+				if ratio <= nw {
+					grid = append(grid, gridPoint{nw, ratio})
+				}
+			}
+		}
+		packed, err := runner.Run(len(grid), *jFlag, func(i int) (exp.PackedStreamPoint, error) {
+			g := grid[i]
+			return exp.StreamThroughputPacked(platform, g.writers, g.ratio, perWriter, block, exp.EventRecordSize, trace.PackV2)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var wire, logical, events int64
+		for _, pt := range packed {
+			points = append(points, pt.StreamPoint)
+			wire += pt.WireBytes
+			logical += pt.LogicalBytes
+			events += pt.Events
+		}
+		if wire > 0 {
+			fmt.Fprintf(os.Stderr, "streambench: packv2: %d events, %d bytes on wire (logical %d), compression %.2fx (%.1f%% reduction)\n",
+				events, wire, logical, float64(logical)/float64(wire), 100*(1-float64(wire)/float64(logical)))
+		}
+	} else {
+		points, err = exp.StreamSweepJ(platform, writers, ratios, perWriter, block, *jFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	elapsed := time.Since(start)
 	exp.WriteStreamTable(os.Stdout, points)

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/exp"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 		itersFlag    = flag.Int("iters", 12, "timesteps per run (0 = official SP.D count)")
 		platformFlag = flag.String("platform", "curie", "platform model (tera100 or curie)")
 		jFlag        = flag.Int("j", 0, "parallel sweep workers (0 = all cores, 1 = serial); output is identical for any value")
+		packv2Flag   = flag.Bool("packv2", false, "online tool streams packs in the compact v2 wire format (default: v1 fixed records, the seed behavior)")
 	)
 	flag.Parse()
 
@@ -40,12 +42,29 @@ func main() {
 		log.Fatal(err)
 	}
 
-	points, err := exp.Fig16SweepJ(platform, procs, *itersFlag, *jFlag)
+	packVersion := trace.PackV1
+	if *packv2Flag {
+		packVersion = trace.PackV2
+	}
+	points, err := exp.Fig16SweepJV(platform, procs, *itersFlag, *jFlag, packVersion)
 	if err != nil {
 		log.Fatal(err)
 	}
 	exp.WriteOverheadTable(os.Stdout,
 		fmt.Sprintf("Figure 16: SP.D tool comparison on %s", platform.Name), points)
+	if *packv2Flag {
+		var wire, logical int64
+		for _, pt := range points {
+			if pt.Tool == exp.ToolOnline {
+				wire += pt.DataBytes
+				logical += pt.LogicalBytes
+			}
+		}
+		if wire > 0 && logical > 0 {
+			fmt.Fprintf(os.Stderr, "packv2: online tool %d bytes on wire (logical %d), compression %.2fx (%.1f%% reduction)\n",
+				wire, logical, float64(logical)/float64(wire), 100*(1-float64(wire)/float64(logical)))
+		}
+	}
 
 	// Trace-volume growth summary (paper §IV-C).
 	fmt.Println("\n# measurement data volume by tool")

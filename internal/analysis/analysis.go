@@ -15,8 +15,10 @@ package analysis
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/blackboard"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -48,7 +50,16 @@ type Pipeline struct {
 	mu       sync.Mutex
 	finished bool
 	onFinish []func()
+
+	// codec, when attached, accounts each unpacked pack's event count and
+	// wall-clock unpack time. Set it before the first pack is posted; the
+	// board's queue ordering then publishes it to the worker pool.
+	codec *telemetry.CodecMetrics
 }
+
+// SetCodecTelemetry attaches a codec telemetry bundle to the unpacker
+// (nil allowed and free). Call before posting packs.
+func (p *Pipeline) SetCodecTelemetry(m *telemetry.CodecMetrics) { p.codec = m }
 
 // NewPipeline registers the unpacker and the three analysis modules for an
 // application of the given rank count under the given level name.
@@ -69,12 +80,30 @@ func NewPipeline(bb *blackboard.Blackboard, level string, appSize int) (*Pipelin
 		Sensitivities: []blackboard.Type{packT},
 		Op: func(bb *blackboard.Blackboard, in []*blackboard.Entry) {
 			buf := in[0].Payload.([]byte)
-			_, err := trace.DecodeEach(buf, func(e *trace.Event) {
-				ev := *e
-				bb.Post(eventT, int64(trace.MinRecordSize), &ev)
-			})
-			if err != nil {
+			// A zero-copy reader iterates the borrowed block in place; the
+			// only per-event allocation is the copy posted to the board,
+			// which must outlive the block. Both wire formats decode here —
+			// streams negotiate per writer, so one analyzer can serve v1 and
+			// v2 producers at once.
+			var t0 time.Time
+			if p.codec != nil {
+				t0 = time.Now()
+			}
+			var r trace.PackReader
+			if err := r.Init(buf); err != nil {
 				panic(fmt.Sprintf("analysis: undecodable pack on level %q: %v", level, err))
+			}
+			n := 0
+			for r.Next() {
+				ev := *r.Event()
+				n++
+				bb.Post(eventT, int64(trace.MinRecordSize), &ev)
+			}
+			if err := r.Err(); err != nil {
+				panic(fmt.Sprintf("analysis: undecodable pack on level %q: %v", level, err))
+			}
+			if p.codec != nil {
+				p.codec.OnDecode(n, time.Since(t0).Nanoseconds())
 			}
 		},
 	}); err != nil {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/instrument"
 	"repro/internal/mpi"
 	"repro/internal/nas"
+	"repro/internal/trace"
 	"repro/internal/vmpi"
 )
 
@@ -67,8 +68,16 @@ type OverheadPoint struct {
 	RefSeconds, Seconds float64
 	// OverheadPct is the paper's relative overhead in percent.
 	OverheadPct float64
-	// DataBytes is the measurement data volume produced by the tool.
+	// DataBytes is the measurement data volume produced by the tool — for
+	// the online tool, the bytes that actually crossed the stream.
 	DataBytes int64
+	// LogicalBytes is the fixed-record (pack v1) volume of the same
+	// events; it equals DataBytes unless a compact pack format shrank the
+	// wire traffic (online tool only, 0 otherwise).
+	LogicalBytes int64
+	// PackVersion is the online tool's pack wire format (0 for other
+	// tools).
+	PackVersion int
 	// Events is the number of recorded events.
 	Events int64
 	// Bi is the paper's average instrumentation data bandwidth:
@@ -99,17 +108,18 @@ func runReferenceSeed(p Platform, w *nas.Workload, seed int64) (float64, error) 
 }
 
 // runOnline executes the workload under the online coupling at the given
-// writer/reader ratio and returns (wall seconds, data bytes, events).
-func runOnline(p Platform, w *nas.Workload, ratio int, seed int64) (float64, int64, int64, error) {
-	return runOnlineCost(p, w, ratio, OnlinePerEventCost, seed)
+// writer/reader ratio and returns (wall seconds, data bytes, logical
+// bytes, events).
+func runOnline(p Platform, w *nas.Workload, ratio int, seed int64, packVersion int) (float64, int64, int64, int64, error) {
+	return runOnlineCost(p, w, ratio, OnlinePerEventCost, seed, packVersion)
 }
 
 // runOnlineCost is runOnline with an explicit per-event capture cost.
-func runOnlineCost(p Platform, w *nas.Workload, ratio int, perEvent time.Duration, seed int64) (float64, int64, int64, error) {
+func runOnlineCost(p Platform, w *nas.Workload, ratio int, perEvent time.Duration, seed int64, packVersion int) (float64, int64, int64, int64, error) {
 	analyzers := Readers(w.Procs, ratio)
 	var layout *vmpi.Layout
 	var runErr error
-	var bytes, events int64
+	var bytes, logical, events int64
 	fail := func(err error) {
 		if runErr == nil {
 			runErr = err
@@ -127,6 +137,7 @@ func runOnlineCost(p Platform, w *nas.Workload, ratio int, perEvent time.Duratio
 				PackBytes:    StreamBlockSize,
 				PerEventCost: perEvent,
 				SizeOnly:     true,
+				PackVersion:  packVersion,
 			}
 			rec, err := instrument.AttachOnline(sess, "Analyzer", cfg)
 			if err != nil {
@@ -136,6 +147,7 @@ func runOnlineCost(p Platform, w *nas.Workload, ratio int, perEvent time.Duratio
 			m.SetRecorder(rec)
 			w.Run(m)
 			bytes += rec.BytesProduced()
+			logical += rec.LogicalBytes()
 			events += rec.Events()
 		}},
 		mpi.Program{Name: "Analyzer", Cmdline: "./analyzer", Procs: analyzers, Main: func(r *mpi.Rank) {
@@ -174,12 +186,12 @@ func runOnlineCost(p Platform, w *nas.Workload, ratio int, perEvent time.Duratio
 	)
 	layout = vmpi.NewLayout(world)
 	if err := world.Run(); err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, 0, err
 	}
 	if runErr != nil {
-		return 0, 0, 0, runErr
+		return 0, 0, 0, 0, runErr
 	}
-	return world.ProgramFinish(0).Seconds(), bytes, events, nil
+	return world.ProgramFinish(0).Seconds(), bytes, logical, events, nil
 }
 
 // analysisCost converts an incoming block size to analyzer processing
@@ -270,10 +282,10 @@ func MeasureOverhead(p Platform, w *nas.Workload, tool Tool, ratio int) (Overhea
 // wall time (seed 1), so sweeps comparing several tools on one workload
 // pay for the reference run once.
 func MeasureOverheadWithRef(p Platform, w *nas.Workload, tool Tool, ratio int, ref float64) (OverheadPoint, error) {
-	return measureOverheadSeed(p, w, tool, ratio, ref, 1)
+	return measureOverheadSeed(p, w, tool, ratio, ref, 1, trace.PackV1)
 }
 
-func measureOverheadSeed(p Platform, w *nas.Workload, tool Tool, ratio int, ref float64, seed int64) (OverheadPoint, error) {
+func measureOverheadSeed(p Platform, w *nas.Workload, tool Tool, ratio int, ref float64, seed int64, packVersion int) (OverheadPoint, error) {
 	var err error
 	pt := OverheadPoint{Bench: w.Name, Procs: w.Procs, Tool: tool, RefSeconds: ref}
 	switch tool {
@@ -281,7 +293,8 @@ func measureOverheadSeed(p Platform, w *nas.Workload, tool Tool, ratio int, ref 
 		pt.Seconds = ref
 	case ToolOnline:
 		pt.Ratio = ratio
-		pt.Seconds, pt.DataBytes, pt.Events, err = runOnline(p, w, ratio, seed)
+		pt.PackVersion = packVersion
+		pt.Seconds, pt.DataBytes, pt.LogicalBytes, pt.Events, err = runOnline(p, w, ratio, seed, packVersion)
 	default:
 		pt.Seconds, pt.DataBytes, pt.Events, err = runFileTool(p, w, tool, seed)
 	}
@@ -300,6 +313,12 @@ func measureOverheadSeed(p Platform, w *nas.Workload, tool Tool, ratio int, ref 
 // averages its 3 to 5 passes to suppress measurement noise. Each seed
 // draws a fresh ±0.2 % per-rank compute-jitter realization.
 func MeasureOverheadAvg(p Platform, w *nas.Workload, tool Tool, ratio, repeats int) (OverheadPoint, error) {
+	return MeasureOverheadAvgV(p, w, tool, ratio, repeats, trace.PackV1)
+}
+
+// MeasureOverheadAvgV is MeasureOverheadAvg with an explicit pack wire
+// format for the online tool (trace.PackV1 or trace.PackV2).
+func MeasureOverheadAvgV(p Platform, w *nas.Workload, tool Tool, ratio, repeats, packVersion int) (OverheadPoint, error) {
 	if repeats < 1 {
 		repeats = 1
 	}
@@ -310,15 +329,16 @@ func MeasureOverheadAvg(p Platform, w *nas.Workload, tool Tool, ratio, repeats i
 		if err != nil {
 			return OverheadPoint{}, fmt.Errorf("exp: reference run of %s/%d: %w", w.Name, w.Procs, err)
 		}
-		pt, err := measureOverheadSeed(p, w, tool, ratio, ref, seed)
+		pt, err := measureOverheadSeed(p, w, tool, ratio, ref, seed, packVersion)
 		if err != nil {
 			return OverheadPoint{}, err
 		}
 		acc.Bench, acc.Procs, acc.Tool, acc.Ratio = pt.Bench, pt.Procs, pt.Tool, pt.Ratio
+		acc.PackVersion = pt.PackVersion
 		acc.RefSeconds += pt.RefSeconds
 		acc.Seconds += pt.Seconds
 		acc.OverheadPct += pt.OverheadPct
-		acc.DataBytes, acc.Events = pt.DataBytes, pt.Events
+		acc.DataBytes, acc.LogicalBytes, acc.Events = pt.DataBytes, pt.LogicalBytes, pt.Events
 	}
 	acc.RefSeconds /= float64(repeats)
 	acc.Seconds /= float64(repeats)
@@ -400,6 +420,12 @@ func Fig16Sweep(p Platform, procsList []int, iters int) ([]OverheadPoint, error)
 // afterwards, so the floating-point sums — and therefore the output —
 // are byte-identical to the serial sweep.
 func Fig16SweepJ(p Platform, procsList []int, iters, j int) ([]OverheadPoint, error) {
+	return Fig16SweepJV(p, procsList, iters, j, trace.PackV1)
+}
+
+// Fig16SweepJV is Fig16SweepJ with an explicit pack wire format for the
+// online tool; the file-based tools are unaffected.
+func Fig16SweepJV(p Platform, procsList []int, iters, j, packVersion int) ([]OverheadPoint, error) {
 	const repeats = 5
 	var out []OverheadPoint
 	for _, procs := range procsList {
@@ -417,7 +443,7 @@ func Fig16SweepJ(p Platform, procsList []int, iters, j int) ([]OverheadPoint, er
 		tools := Tools()
 		pts, err := runner.Run(len(tools)*repeats, j, func(i int) (OverheadPoint, error) {
 			tool, sd := tools[i/repeats], i%repeats
-			return measureOverheadSeed(p, w, tool, 1, refs[sd], int64(sd+1))
+			return measureOverheadSeed(p, w, tool, 1, refs[sd], int64(sd+1), packVersion)
 		})
 		if err != nil {
 			return out, err
@@ -427,10 +453,11 @@ func Fig16SweepJ(p Platform, procsList []int, iters, j int) ([]OverheadPoint, er
 			for sd := 0; sd < repeats; sd++ {
 				pt := pts[t*repeats+sd]
 				acc.Bench, acc.Procs, acc.Tool, acc.Ratio = pt.Bench, pt.Procs, pt.Tool, pt.Ratio
+				acc.PackVersion = pt.PackVersion
 				acc.RefSeconds += pt.RefSeconds
 				acc.Seconds += pt.Seconds
 				acc.OverheadPct += pt.OverheadPct
-				acc.DataBytes, acc.Events = pt.DataBytes, pt.Events
+				acc.DataBytes, acc.LogicalBytes, acc.Events = pt.DataBytes, pt.LogicalBytes, pt.Events
 			}
 			acc.RefSeconds /= repeats
 			acc.Seconds /= repeats
@@ -483,6 +510,11 @@ func RatioSweep(p Platform, w *nas.Workload, ratios []int) ([]OverheadPoint, err
 // coupled runs are independent simulations and fan out. Output is
 // byte-identical to the serial sweep.
 func RatioSweepJ(p Platform, w *nas.Workload, ratios []int, j int) ([]OverheadPoint, error) {
+	return RatioSweepJV(p, w, ratios, j, trace.PackV1)
+}
+
+// RatioSweepJV is RatioSweepJ with an explicit pack wire format.
+func RatioSweepJV(p Platform, w *nas.Workload, ratios []int, j, packVersion int) ([]OverheadPoint, error) {
 	ref, err := runReference(p, w)
 	if err != nil {
 		return nil, err
@@ -495,6 +527,6 @@ func RatioSweepJ(p Platform, w *nas.Workload, ratios []int, j int) ([]OverheadPo
 		grid = append(grid, ratio)
 	}
 	return runner.Run(len(grid), j, func(i int) (OverheadPoint, error) {
-		return MeasureOverheadWithRef(p, w, ToolOnline, grid[i], ref)
+		return measureOverheadSeed(p, w, ToolOnline, grid[i], ref, 1, packVersion)
 	})
 }

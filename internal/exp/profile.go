@@ -43,10 +43,16 @@ type ProfileOptions struct {
 	Export func(app string, m *analysis.ExportModule)
 	// ExportFilter selects the exported events (nil = everything).
 	ExportFilter func(*trace.Event) bool
+	// PackV2 streams events in the compact v2 pack format (delta+varint
+	// columns) instead of fixed records; the analyzer decodes either
+	// format per pack, so this only changes the bytes on the wire.
+	PackV2 bool
 	// Telemetry enables engine self-telemetry: the coupling stack's own
 	// counters (streams, NIC, sinks, blackboard) are sampled into
 	// meta-events, streamed over a dedicated VMPI channel, unpacked by an
 	// engine-health KS in the same blackboard, and attached to the report.
+	// It also enables the codec instruments (compression ratio, encode and
+	// decode ns/event) in the engine-health chapter.
 	Telemetry bool
 	// TelemetryPeriod is the snapshot cadence in virtual time
 	// (0 = the sampler's 10ms default).
@@ -95,6 +101,7 @@ func ProfileRun(p Platform, workloads []*nas.Workload, opts ProfileOptions) (*re
 		health        *analysis.EngineHealthKS
 		streamMetrics *telemetry.StreamMetrics
 		sinkMetrics   *telemetry.SinkMetrics
+		codecMetrics  *telemetry.CodecMetrics
 	)
 	if opts.Telemetry {
 		reg = telemetry.NewRegistry()
@@ -102,6 +109,7 @@ func ProfileRun(p Platform, workloads []*nas.Workload, opts ProfileOptions) (*re
 		vmpi.RegisterPoolMetrics(reg)
 		streamMetrics = telemetry.NewStreamMetrics(reg)
 		sinkMetrics = telemetry.NewSinkMetrics(reg)
+		codecMetrics = telemetry.NewCodecMetrics(reg)
 	}
 
 	disp, err := analysis.NewDispatcher(bb)
@@ -138,6 +146,9 @@ func ProfileRun(p Platform, workloads []*nas.Workload, opts ProfileOptions) (*re
 					// Real payloads: the analyzer decodes them.
 					SizeOnly: false,
 				}
+				if opts.PackV2 {
+					cfg.PackVersion = trace.PackV2
+				}
 				rec, err := instrument.AttachOnline(sess, "Analyzer", cfg)
 				if err != nil {
 					fail(err)
@@ -147,6 +158,7 @@ func ProfileRun(p Platform, workloads []*nas.Workload, opts ProfileOptions) (*re
 				// Nil-safe: with telemetry disabled these attach nil
 				// handles, whose methods no-op.
 				rec.SetTelemetry(sinkMetrics.Shard(r.Global()))
+				rec.SetCodecTelemetry(codecMetrics.Shard(r.Global()))
 				rec.Stream().SetTelemetry(streamMetrics.Shard(r.Global()))
 				// One rank in the system carries the sampler: the first
 				// application's local rank 0 opens a write stream on the
@@ -295,6 +307,8 @@ func ProfileRun(p Platform, workloads []*nas.Workload, opts ProfileOptions) (*re
 		if err != nil {
 			return nil, err
 		}
+		// Decode-side codec accounting (nil-safe when telemetry is off).
+		pipes[i].SetCodecTelemetry(codecMetrics.Shard(i))
 		if opts.WaitState {
 			waits[i], err = pipes[i].EnableWaitState()
 			if err != nil {

@@ -107,8 +107,14 @@ type OnlineConfig struct {
 	PerEventCost time.Duration
 	// SizeOnly streams block sizes without materializing payload bytes
 	// (for large overhead sweeps where the analyzer models, rather than
-	// decodes, its input).
+	// decodes, its input). With PackVersion >= 2 the recorder still
+	// encodes — the wire size of a compressed pack is data-dependent — but
+	// the encoded buffer is recycled locally instead of being sent.
 	SizeOnly bool
+	// PackVersion selects the pack wire format (0 or trace.PackV1 for the
+	// fixed-record format, trace.PackV2 for delta+varint columns). Writers
+	// using v2 announce it on the stream at open (vmpi format hello).
+	PackVersion int
 	// WriteDeadline bounds how long a pack write may wait for stream
 	// credits before the stalled endpoint is quarantined (0 = wait
 	// forever, the seed behavior).
@@ -141,14 +147,16 @@ func DefaultOnlineConfig(appID uint32) OnlineConfig {
 type OnlineRecorder struct {
 	sess     *vmpi.Session
 	stream   *vmpi.Stream
-	builder  *trace.PackBuilder
+	builder  trace.Builder // nil only on the v1 size-only fast path
+	version  int
 	cost     costMeter
 	sizeOnly bool
 	produced int64
+	logical  int64
 	events   int64
 	closed   bool
 
-	// Size-only fast path: no encoding, just byte accounting.
+	// Size-only fast path (v1 only): no encoding, just byte accounting.
 	recordSize int
 	packBytes  int
 	pendBytes  int
@@ -156,7 +164,9 @@ type OnlineRecorder struct {
 
 	// Telemetry (nil when disabled — the nil checks are the whole cost).
 	tel     *telemetry.SinkMetrics
+	codec   *telemetry.CodecMetrics
 	sampler *telemetry.Sampler
+	encNs   int64 // wall-clock encode time accumulated for the open pack
 
 	// Degraded-mode fallback: a ProfileRecorder-style local reduction
 	// covering events recorded after the stream died.
@@ -167,9 +177,14 @@ type OnlineRecorder struct {
 
 // NewOnlineRecorder wraps an already-open writer stream.
 func NewOnlineRecorder(sess *vmpi.Session, stream *vmpi.Stream, cfg OnlineConfig) *OnlineRecorder {
+	version := cfg.PackVersion
+	if version == 0 {
+		version = trace.PackV1
+	}
 	o := &OnlineRecorder{
 		sess:       sess,
 		stream:     stream,
+		version:    version,
 		cost:       newCostMeter(sess.Rank(), cfg.PerEventCost),
 		sizeOnly:   cfg.SizeOnly,
 		recordSize: cfg.RecordSize,
@@ -178,11 +193,18 @@ func NewOnlineRecorder(sess *vmpi.Session, stream *vmpi.Stream, cfg OnlineConfig
 	if o.recordSize < trace.MinRecordSize {
 		o.recordSize = trace.MinRecordSize
 	}
-	if !cfg.SizeOnly {
-		o.builder = trace.NewPackBuilder(cfg.AppID, int32(sess.LocalRank()), cfg.RecordSize, cfg.PackBytes)
+	if !cfg.SizeOnly || version != trace.PackV1 {
+		b, err := trace.NewBuilder(version, cfg.AppID, int32(sess.LocalRank()), cfg.RecordSize, cfg.PackBytes)
+		if err != nil {
+			panic(fmt.Sprintf("instrument: %v", err))
+		}
+		o.builder = b
 	}
 	return o
 }
+
+// PackVersion returns the recorder's pack wire format.
+func (o *OnlineRecorder) PackVersion() int { return o.version }
 
 // AttachOnline maps the session's partition to the named analyzer
 // partition (round-robin), opens a write stream over the map and returns a
@@ -211,6 +233,9 @@ func AttachOnline(sess *vmpi.Session, analyzer string, cfg OnlineConfig) (*Onlin
 	st := vmpi.NewStream(sess, int64(cfg.PackBytes), policy)
 	if cfg.WriteDeadline > 0 {
 		st.SetWriteDeadline(cfg.WriteDeadline)
+	}
+	if cfg.PackVersion > trace.PackV1 {
+		st.SetPackFormat(cfg.PackVersion)
 	}
 	if cfg.FailoverEndpoints > 0 {
 		peers := failoverPeers(m.Targets(), part.Globals, cfg.FailoverEndpoints)
@@ -278,6 +303,15 @@ func (o *OnlineRecorder) Stream() *vmpi.Stream { return o.stream }
 // SetTelemetry attaches a sink telemetry bundle (nil allowed and free).
 func (o *OnlineRecorder) SetTelemetry(m *telemetry.SinkMetrics) { o.tel = m }
 
+// SetCodecTelemetry attaches a codec telemetry bundle (nil allowed and
+// free): pack counts, wire vs logical bytes, and wall-clock encode time.
+func (o *OnlineRecorder) SetCodecTelemetry(m *telemetry.CodecMetrics) { o.codec = m }
+
+// LogicalBytes returns the v1-equivalent volume of everything produced:
+// what the recorded packs would have occupied as fixed records. With the
+// v1 format it equals BytesProduced; the gap is the v2 codec's saving.
+func (o *OnlineRecorder) LogicalBytes() int64 { return o.logical }
+
 // SetSampler attaches a telemetry sampler driven from this recorder's
 // event flow: each Record gives the sampler a chance to emit a snapshot at
 // the rank's current virtual time. Nil detaches.
@@ -320,14 +354,24 @@ func (o *OnlineRecorder) Record(ev *trace.Event) {
 		return
 	}
 	o.packEvents++
-	if o.sizeOnly {
-		// Fast path: overhead experiments observe virtual time only, so
-		// the pack is accounted, not encoded.
+	if o.builder == nil {
+		// v1 size-only fast path: overhead experiments observe virtual time
+		// only, and the v1 wire size is a closed-form function of the event
+		// count, so the pack is accounted, not encoded.
 		if o.pendBytes == 0 {
 			o.pendBytes = trace.PackHeaderSize
 		}
 		o.pendBytes += o.recordSize
 		if o.pendBytes+o.recordSize > o.packBytes {
+			o.flush()
+		}
+		return
+	}
+	if o.codec != nil {
+		t0 := time.Now()
+		full := o.builder.Add(ev)
+		o.encNs += time.Since(t0).Nanoseconds()
+		if full {
 			o.flush()
 		}
 		return
@@ -343,23 +387,51 @@ func (o *OnlineRecorder) flush() {
 	}
 	var payload []byte
 	var size int64
-	if o.sizeOnly {
+	if o.builder == nil {
 		if o.pendBytes == 0 {
 			return
 		}
 		size = int64(o.pendBytes)
 		o.pendBytes = 0
 	} else {
+		var t0 time.Time
+		if o.codec != nil {
+			t0 = time.Now()
+		}
 		payload = o.builder.Take()
+		if o.codec != nil {
+			o.encNs += time.Since(t0).Nanoseconds()
+		}
 		if payload == nil {
 			return
 		}
 		size = int64(len(payload))
 	}
+	packLogical := int64(trace.PackHeaderSize + o.packEvents*o.recordSize)
+	o.logical += packLogical
 	o.tel.OnFlush(o.packEvents, size)
+	o.codec.OnEncode(o.packEvents, size, packLogical, o.encNs)
+	o.encNs = 0
 	o.packEvents = 0
 	o.produced += size
 	o.cost.settle()
+	if o.sizeOnly {
+		// The encoded pack never leaves the process: only its size crosses
+		// the stream, and the buffer is recycled for the next pack directly.
+		if err := o.stream.Write(nil, size); err != nil {
+			o.writeErr = err
+			o.enterFallback()
+			return
+		}
+		if o.stream.Degraded() {
+			o.enterFallback()
+			return
+		}
+		if o.builder != nil {
+			o.builder.Reset(payload)
+		}
+		return
+	}
 	if err := o.stream.Write(payload, size); err != nil {
 		// A protocol error (e.g. unmapped control traffic) kills the
 		// stream for good: switch to local reduction instead of taking
@@ -374,12 +446,10 @@ func (o *OnlineRecorder) flush() {
 		o.enterFallback()
 		return
 	}
-	if !o.sizeOnly {
-		// Start the next pack in a recycled payload buffer: once consumers
-		// release their blocks, the steady state allocates no pack storage
-		// at all.
-		o.builder.Reset(vmpi.GetBlock(o.builder.CapBytes()))
-	}
+	// Start the next pack in a recycled payload buffer: once consumers
+	// release their blocks, the steady state allocates no pack storage
+	// at all.
+	o.builder.Reset(vmpi.GetBlock(o.builder.CapBytes()))
 }
 
 // Finalize implements Recorder: it flushes the last pack and closes the

@@ -214,6 +214,75 @@ func (m *SinkMetrics) OnFallback() {
 	m.fallbacks.AddShard(m.shard, 1)
 }
 
+// CodecMetrics instruments the pack codec on both sides of the wire:
+// encoded/decoded volume, wire vs logical bytes (their ratio is the
+// compression factor), and wall-clock nanoseconds spent encoding and
+// decoding (divide by the event counters for ns/event).
+type CodecMetrics struct {
+	shard        int
+	encPacks     *Counter
+	encEvents    *Counter
+	wireBytes    *Counter
+	logicalBytes *Counter
+	encNs        *Counter
+	decPacks     *Counter
+	decEvents    *Counter
+	decNs        *Counter
+}
+
+// NewCodecMetrics registers the codec instrument set on reg.
+func NewCodecMetrics(reg *Registry) *CodecMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &CodecMetrics{
+		encPacks:     reg.Counter("codec.encoded_packs"),
+		encEvents:    reg.Counter("codec.encoded_events"),
+		wireBytes:    reg.Counter("codec.wire_bytes"),
+		logicalBytes: reg.Counter("codec.logical_bytes"),
+		encNs:        reg.Counter("codec.encode_ns"),
+		decPacks:     reg.Counter("codec.decoded_packs"),
+		decEvents:    reg.Counter("codec.decoded_events"),
+		decNs:        reg.Counter("codec.decode_ns"),
+	}
+}
+
+// Shard returns a copy whose counter writes land on the shard derived
+// from id. The underlying instruments are shared.
+func (m *CodecMetrics) Shard(id int) *CodecMetrics {
+	if m == nil {
+		return nil
+	}
+	c := *m
+	c.shard = id
+	return &c
+}
+
+// OnEncode records one encoded pack: its event count, its bytes on the
+// wire, the logical (fixed-record) bytes it stands for, and the
+// wall-clock nanoseconds spent encoding it.
+func (m *CodecMetrics) OnEncode(events int, wire, logical, ns int64) {
+	if m == nil {
+		return
+	}
+	m.encPacks.AddShard(m.shard, 1)
+	m.encEvents.AddShard(m.shard, int64(events))
+	m.wireBytes.AddShard(m.shard, wire)
+	m.logicalBytes.AddShard(m.shard, logical)
+	m.encNs.AddShard(m.shard, ns)
+}
+
+// OnDecode records one decoded pack: its event count and the wall-clock
+// nanoseconds spent decoding it.
+func (m *CodecMetrics) OnDecode(events int, ns int64) {
+	if m == nil {
+		return
+	}
+	m.decPacks.AddShard(m.shard, 1)
+	m.decEvents.AddShard(m.shard, int64(events))
+	m.decNs.AddShard(m.shard, ns)
+}
+
 // BoardMetrics instruments the blackboard: post/job/backoff rates, FIFO
 // depth, and per-KS job latency histograms.
 type BoardMetrics struct {

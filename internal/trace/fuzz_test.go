@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDecodePack throws arbitrary bytes at every decode entry point. The
+// contract under fuzzing is purely defensive: malformed input of either
+// wire format must produce an error, never a panic, an over-read, or an
+// event count above the header's claim.
+func FuzzDecodePack(f *testing.F) {
+	// Valid v1 pack.
+	b1 := NewPackBuilder(1, 2, 48, 1<<12)
+	for i := 0; i < 8; i++ {
+		ev := sampleEvent(i)
+		b1.Add(&ev)
+	}
+	v1 := b1.Take()
+	f.Add(append([]byte(nil), v1...))
+	// Valid v2 pack.
+	b2 := NewPackBuilderV2(1, 2, 48, 1<<12)
+	for i := 0; i < 8; i++ {
+		ev := fig14ishEvent(i)
+		b2.Add(&ev)
+	}
+	v2 := b2.Take()
+	f.Add(append([]byte(nil), v2...))
+	// Truncated variants.
+	f.Add(append([]byte(nil), v1[:len(v1)/2]...))
+	f.Add(append([]byte(nil), v2[:len(v2)/2]...))
+	f.Add(append([]byte(nil), v2[:PackHeaderSize]...))
+	// Corrupt counts and body lengths.
+	for _, seed := range [][]byte{v1, v2} {
+		mut := append([]byte(nil), seed...)
+		binary.LittleEndian.PutUint32(mut[12:], 0xFFFFFFFF)
+		f.Add(append([]byte(nil), mut...))
+		mut = append([]byte(nil), seed...)
+		binary.LittleEndian.PutUint32(mut[16:], 0xFFFFFFFF)
+		f.Add(append([]byte(nil), mut...))
+		mut = append([]byte(nil), seed...)
+		binary.LittleEndian.PutUint32(mut[20:], 0xFFFFFFFF)
+		f.Add(append([]byte(nil), mut...))
+	}
+	// Bare magics, short buffers.
+	f.Add([]byte{0x56, 0x50, 0x4d, 0x54})
+	f.Add([]byte{0x56, 0x50, 0x4d, 0x32})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := PeekHeader(data)
+		if err == nil && h.WireLen() > len(data) {
+			t.Fatalf("PeekHeader accepted a pack claiming %d bytes from a %d-byte buffer", h.WireLen(), len(data))
+		}
+		if _, err := PeekHeaderV1(data); err == nil && h.Version != PackV1 {
+			t.Fatal("PeekHeaderV1 accepted a non-v1 pack")
+		}
+		hd, events, err := DecodePack(data)
+		if err == nil && len(events) != hd.Count {
+			t.Fatalf("DecodePack returned %d events for a header claiming %d", len(events), hd.Count)
+		}
+		var n int
+		if _, err := DecodeEach(data, func(*Event) { n++ }); err == nil && n != hd.Count {
+			t.Fatalf("DecodeEach visited %d events for a header claiming %d", n, hd.Count)
+		}
+		var r PackReader
+		if err := r.Init(data); err == nil {
+			count := 0
+			for r.Next() {
+				count++
+				if count > r.Header().Count {
+					t.Fatal("PackReader yielded more events than the header claims")
+				}
+			}
+		}
+	})
+}

@@ -207,8 +207,29 @@ type Header struct {
 	SrcRank int32
 	// Count is the number of event records in the pack.
 	Count int
-	// RecordSize is the per-record byte size (>= MinRecordSize).
+	// RecordSize is the per-record byte size (>= MinRecordSize). For a v2
+	// pack this is the logical v1 record size the pack stands in for — the
+	// accounting basis for compression ratios — not an on-wire stride.
 	RecordSize int
+	// Version is the pack wire format (PackV1 or PackV2).
+	Version int
+
+	// bodyLen is the v2 encoded body size after the header (0 for v1).
+	bodyLen int
+}
+
+// WireLen returns the encoded byte size of the pack the header describes.
+func (h Header) WireLen() int {
+	if h.Version == PackV2 {
+		return PackHeaderSize + h.bodyLen
+	}
+	return PackHeaderSize + h.Count*h.RecordSize
+}
+
+// LogicalLen returns the v1-equivalent byte size of the pack: what its
+// events would occupy as fixed records. For v1 packs this equals WireLen.
+func (h Header) LogicalLen() int {
+	return PackHeaderSize + h.Count*h.RecordSize
 }
 
 // PackBuilder accumulates events into a bounded binary pack. When the pack
@@ -322,12 +343,18 @@ func (b *PackBuilder) Take() []byte {
 }
 
 // PeekHeader decodes just the pack header (for dispatching without a full
-// decode).
+// decode), accepting both wire formats.
 func PeekHeader(buf []byte) (Header, error) {
 	if len(buf) < PackHeaderSize {
 		return Header{}, fmt.Errorf("trace: pack of %d bytes is shorter than the header", len(buf))
 	}
-	if binary.LittleEndian.Uint32(buf) != packMagic {
+	var version int
+	switch binary.LittleEndian.Uint32(buf) {
+	case packMagic:
+		version = PackV1
+	case packMagicV2:
+		version = PackV2
+	default:
 		return Header{}, fmt.Errorf("trace: bad pack magic %#x", binary.LittleEndian.Uint32(buf))
 	}
 	h := Header{
@@ -335,44 +362,74 @@ func PeekHeader(buf []byte) (Header, error) {
 		SrcRank:    int32(binary.LittleEndian.Uint32(buf[8:])),
 		Count:      int(binary.LittleEndian.Uint32(buf[12:])),
 		RecordSize: int(binary.LittleEndian.Uint32(buf[16:])),
+		Version:    version,
 	}
 	if h.RecordSize < MinRecordSize {
 		return Header{}, fmt.Errorf("trace: record size %d below minimum %d", h.RecordSize, MinRecordSize)
 	}
-	if want := PackHeaderSize + h.Count*h.RecordSize; len(buf) < want {
-		return Header{}, fmt.Errorf("trace: pack truncated: %d bytes, header implies %d", len(buf), want)
+	if version == PackV2 {
+		h.bodyLen = int(binary.LittleEndian.Uint32(buf[20:]))
+		if h.bodyLen > len(buf)-PackHeaderSize {
+			return Header{}, fmt.Errorf("trace: v2 pack truncated: %d bytes, header implies %d", len(buf), PackHeaderSize+h.bodyLen)
+		}
+		// Every event costs at least one byte per column, so an honest
+		// count is bounded by the body size; this keeps decoders from
+		// pre-allocating for a hostile 32-bit count.
+		if h.Count > h.bodyLen/numColumns {
+			return Header{}, fmt.Errorf("trace: v2 pack claims %d events in a %d-byte body", h.Count, h.bodyLen)
+		}
+		return h, nil
+	}
+	// Division keeps the bound overflow-free: Count and RecordSize are
+	// attacker-controlled 32-bit fields whose product overflows int64.
+	if h.Count > (len(buf)-PackHeaderSize)/h.RecordSize {
+		return Header{}, fmt.Errorf("trace: pack truncated: %d bytes, header implies %d records of %d bytes", len(buf), h.Count, h.RecordSize)
 	}
 	return h, nil
 }
 
-// DecodePack decodes a pack into its header and events.
-func DecodePack(buf []byte) (Header, []Event, error) {
-	h, err := PeekHeader(buf)
-	if err != nil {
-		return h, nil, err
-	}
-	events := make([]Event, h.Count)
-	off := PackHeaderSize
-	for i := range events {
-		decodeRecord(buf[off:], &events[i])
-		off += h.RecordSize
-	}
-	return h, events, nil
-}
-
-// DecodeEach decodes a pack, invoking fn per event without materializing a
-// slice (the analyzer's unpacker uses this on the hot path).
-func DecodeEach(buf []byte, fn func(e *Event)) (Header, error) {
+// PeekHeaderV1 decodes a pack header accepting only the v1 wire format: a
+// reader that has not negotiated v2 uses this so a v2 pack fails loudly
+// instead of being misparsed.
+func PeekHeaderV1(buf []byte) (Header, error) {
 	h, err := PeekHeader(buf)
 	if err != nil {
 		return h, err
 	}
-	off := PackHeaderSize
-	var e Event
-	for i := 0; i < h.Count; i++ {
-		decodeRecord(buf[off:], &e)
-		fn(&e)
-		off += h.RecordSize
+	if h.Version != PackV1 {
+		return Header{}, fmt.Errorf("trace: pack uses wire format v%d, this reader accepts only v1 (negotiate the stream format)", h.Version)
 	}
 	return h, nil
+}
+
+// DecodePack decodes a pack (either wire format) into its header and
+// events.
+func DecodePack(buf []byte) (Header, []Event, error) {
+	var r PackReader
+	if err := r.Init(buf); err != nil {
+		return Header{}, nil, err
+	}
+	h := r.Header()
+	events := make([]Event, 0, h.Count)
+	for r.Next() {
+		events = append(events, *r.Event())
+	}
+	if err := r.Err(); err != nil {
+		return h, nil, err
+	}
+	return h, events, nil
+}
+
+// DecodeEach decodes a pack (either wire format), invoking fn per event
+// without materializing a slice (the analyzer's unpacker uses this on the
+// hot path).
+func DecodeEach(buf []byte, fn func(e *Event)) (Header, error) {
+	var r PackReader
+	if err := r.Init(buf); err != nil {
+		return Header{}, err
+	}
+	for r.Next() {
+		fn(r.Event())
+	}
+	return r.Header(), r.Err()
 }

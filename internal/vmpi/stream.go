@@ -1,6 +1,7 @@
 package vmpi
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"strings"
@@ -136,6 +137,18 @@ type Stream struct {
 	na    int
 	naOut int
 
+	// Pack-format negotiation. A stream carries opaque blocks; what the
+	// endpoints need to agree on is how the blocks' payloads are encoded.
+	// A writer using a non-default format announces it once per peer at
+	// open time (tagHello); a reader records each writer's announcement
+	// and fails a Read loudly when an announced format exceeds what it
+	// accepts, instead of letting the decoder choke on alien bytes later.
+	// Default-format writers announce nothing, so format-1 traffic is
+	// message-for-message identical to a pre-negotiation stream.
+	packFormat    int         // writer's announced payload format (0 ≡ 1)
+	maxPackFormat int         // reader's acceptance ceiling (0 ≡ DefaultMaxPackFormat)
+	peerFormat    map[int]int // reader: announced format per writer universe rank
+
 	// Reader state.
 	writers []int // writer universe ranks
 	widx    map[int]int
@@ -187,6 +200,62 @@ func (st *Stream) SetChannel(ch int) {
 	st.channel = ch
 }
 
+// DefaultMaxPackFormat is the highest payload format a reader accepts
+// unless lowered with SetMaxPackFormat.
+const DefaultMaxPackFormat = 2
+
+// SetPackFormat declares the payload format this writer will stream
+// (before OpenMap). Formats above 1 are announced to every mapped reader
+// at open time via one small hello message per peer; format 1 (or 0, the
+// zero value) is the default and is never announced, keeping default
+// streams message-for-message identical to pre-negotiation behavior.
+func (st *Stream) SetPackFormat(v int) {
+	if st.mode != 0 {
+		panic("vmpi: SetPackFormat after OpenMap")
+	}
+	if v < 0 {
+		panic("vmpi: negative pack format")
+	}
+	st.packFormat = v
+}
+
+// SetMaxPackFormat bounds the payload formats this reader accepts
+// (default DefaultMaxPackFormat). A Read that has seen a writer announce
+// a higher format fails with a descriptive error instead of surfacing
+// undecodable blocks.
+func (st *Stream) SetMaxPackFormat(v int) {
+	if v < 1 {
+		panic("vmpi: max pack format must be at least 1")
+	}
+	st.maxPackFormat = v
+}
+
+// PackFormat returns the writer's declared payload format.
+func (st *Stream) PackFormat() int {
+	if st.packFormat == 0 {
+		return 1
+	}
+	return st.packFormat
+}
+
+// MaxPackFormat returns the reader's acceptance ceiling.
+func (st *Stream) MaxPackFormat() int {
+	if st.maxPackFormat == 0 {
+		return DefaultMaxPackFormat
+	}
+	return st.maxPackFormat
+}
+
+// PeerFormat returns the payload format writer rank (universe) announced
+// to this reader — 1 when the writer never announced (the default
+// format), since announcements precede data on the same channel.
+func (st *Stream) PeerFormat(rank int) int {
+	if v, ok := st.peerFormat[rank]; ok {
+		return v
+	}
+	return 1
+}
+
 // Stats returns a consistent-enough copy of the endpoint's counters. Each
 // counter is loaded atomically, so Stats is safe to call from any
 // goroutine (telemetry samplers, host-side observers) while the endpoint
@@ -226,14 +295,18 @@ func (st *Stream) SetWriteDeadline(d time.Duration) { st.writeDeadline = d }
 // application alive at the price of measurement completeness.
 func (st *Stream) Degraded() bool { return st.degraded }
 
-func (st *Stream) tagData() int   { return tagStreamBase + st.channel*4 }
-func (st *Stream) tagCredit() int { return tagStreamBase + st.channel*4 + 1 }
-func (st *Stream) tagClose() int  { return tagStreamBase + st.channel*4 + 2 }
+func (st *Stream) tagData() int   { return tagStreamBase + st.channel*5 }
+func (st *Stream) tagCredit() int { return tagStreamBase + st.channel*5 + 1 }
+func (st *Stream) tagClose() int  { return tagStreamBase + st.channel*5 + 2 }
 
 // tagReaderClose is sent by a closing reader half to its writers so a
 // writer blocked on credits wakes and quarantines the endpoint instead of
 // hanging forever.
-func (st *Stream) tagReaderClose() int { return tagStreamBase + st.channel*4 + 3 }
+func (st *Stream) tagReaderClose() int { return tagStreamBase + st.channel*5 + 3 }
+
+// tagHello carries the writer's pack-format announcement (see
+// SetPackFormat). Writers using the default format send nothing.
+func (st *Stream) tagHello() int { return tagStreamBase + st.channel*5 + 4 }
 
 // OpenMap connects the stream to the processes of a map, as a writer
 // (mode "w") or reader (mode "r") endpoint — the paper's
@@ -264,6 +337,24 @@ func (st *Stream) OpenRanks(peers []int, mode string) error {
 			st.credits[i] = st.na
 		}
 		st.quarantined = make([]bool, len(peers))
+		if st.packFormat > 1 {
+			// Announce the non-default payload format before any data can
+			// flow. A peer dead already at open is quarantined, matching
+			// Write's failover semantics.
+			var hello [4]byte
+			binary.LittleEndian.PutUint32(hello[:], uint32(st.packFormat))
+			r := st.sess.rank
+			u := st.sess.Universe()
+			for i, p := range st.peers {
+				if err := r.SendChecked(u, p, st.tagHello(), int64(len(hello)), hello[:]); err != nil {
+					var rf *mpi.RankFailedError
+					if !errors.As(err, &rf) {
+						return err
+					}
+					st.quarantine(i)
+				}
+			}
+		}
 	}
 	if strings.Contains(mode, "r") {
 		st.mode |= modeR
@@ -522,6 +613,30 @@ func (st *Stream) Read(nonblock bool) (*Block, error) {
 		// Sample the delivery generation before probing: anything arriving
 		// during the probes keeps WaitArrival from parking.
 		seq := r.ArrivalSeq()
+		// Record format announcements before serving data: a hello was sent
+		// at the writer's open, so it is always delivered no later than the
+		// writer's first data block from the reader's perspective.
+		for {
+			ok, status := r.Iprobe(u, mpi.AnySource, st.tagHello())
+			if !ok {
+				break
+			}
+			_, payload := r.Recv(u, status.Source, st.tagHello())
+			if _, known := st.widx[status.Source]; !known {
+				return nil, fmt.Errorf("vmpi: format hello from unmapped rank %d", status.Source)
+			}
+			if len(payload) != 4 {
+				return nil, fmt.Errorf("vmpi: malformed format hello from rank %d (%d bytes)", status.Source, len(payload))
+			}
+			v := int(binary.LittleEndian.Uint32(payload))
+			if v > st.MaxPackFormat() {
+				return nil, fmt.Errorf("vmpi: writer rank %d streams pack format v%d, reader accepts up to v%d", status.Source, v, st.MaxPackFormat())
+			}
+			if st.peerFormat == nil {
+				st.peerFormat = make(map[int]int, len(st.writers))
+			}
+			st.peerFormat[status.Source] = v
+		}
 		// Consume any close notifications first; the writer-side protocol
 		// guarantees all of a writer's data was acknowledged before its
 		// close, so this cannot skip data.
