@@ -9,6 +9,13 @@
 //	streambench -writers 2560 -ratios 1 -bytes 1G
 //
 // The default sweep is smaller so it completes in seconds.
+//
+// With -tree, the command instead measures the multi-level reduction
+// tree: the named applications are profiled through the flat pipeline
+// and through each requested tree topology, and the table compares every
+// topology's root-blackboard ingest volume against the flat baseline:
+//
+//	streambench -tree LU.C@64,CG.C@64 -tree-levels 2,3 -tree-fanin 8
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/exp"
 	"repro/internal/exp/runner"
+	"repro/internal/nas"
 	"repro/internal/trace"
 )
 
@@ -37,6 +45,11 @@ func main() {
 		jFlag        = flag.Int("j", 0, "parallel sweep workers (0 = all cores, 1 = serial); output is identical for any value")
 		telFlag      = flag.Bool("telemetry", false, "re-run the best 1:1 point with engine telemetry and print a JSON health summary")
 		packv2Flag   = flag.Bool("packv2", false, "stream real event packs in the compact v2 wire format (default: size-only v1 blocks, the seed behavior)")
+		treeFlag     = flag.String("tree", "", "reduction-tree ingest sweep over these applications (NAME.CLASS@PROCS[,...]) instead of the Figure 14 stream sweep")
+		treeLevels   = flag.String("tree-levels", "2,3", "comma-separated tree level counts for -tree (each >= 2)")
+		treeFanin    = flag.Int("tree-fanin", 0, "reduction-tree fan-in for -tree (0 = 8)")
+		treeFlush    = flag.Int("tree-flush", 4, "ship partial-profile deltas every N packs in -tree mode (0 = only at stream end)")
+		treeIters    = flag.Int("tree-iters", 2, "timesteps per -tree application (0 = official counts)")
 	)
 	flag.Parse()
 
@@ -59,6 +72,11 @@ func main() {
 	platform, err := cliutil.PlatformByName(*platformFlag)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *treeFlag != "" {
+		runTreeSweep(platform, *treeFlag, *treeLevels, *treeFanin, *treeFlush, *treeIters, *packv2Flag)
+		return
 	}
 
 	start := time.Now()
@@ -132,4 +150,49 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// runTreeSweep is the -tree mode: profile real applications through flat
+// and tree topologies at equal event volume and print each tree's
+// root-ingest reduction against the flat baseline. All analysis modules
+// are on so the partial profiles carry their full table set.
+func runTreeSweep(platform exp.Platform, apps, levels string, fanin, flush, iters int, packv2 bool) {
+	specs, err := cliutil.ParseApps(apps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	workloads := make([]*nas.Workload, 0, len(specs))
+	for _, spec := range specs {
+		procs := nas.ValidProcs(spec.Kind, spec.Procs)
+		w, err := nas.ByName(spec.Kind, nas.Class(spec.Class), procs, iters)
+		if err != nil {
+			log.Fatal(err)
+		}
+		workloads = append(workloads, w)
+	}
+	lv, err := cliutil.ParseInts(levels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var configs []exp.TreeConfig
+	for _, l := range lv {
+		if l < 2 {
+			log.Fatalf("-tree-levels %d: a tree needs at least 2 levels", l)
+		}
+		configs = append(configs, exp.TreeConfig{Levels: l, Fanin: fanin, FlushPacks: flush})
+	}
+	base := exp.ProfileOptions{
+		WaitState:        true,
+		TemporalWindowNs: (10 * time.Millisecond).Nanoseconds(),
+		Callsites:        true,
+		Sizes:            true,
+		PackV2:           packv2,
+	}
+	start := time.Now()
+	points, err := exp.TreeScalingSweep(platform, workloads, base, configs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exp.WriteTreeTable(os.Stdout, points)
+	fmt.Fprintf(os.Stderr, "streambench: %d topologies in %.2fs\n", len(points), time.Since(start).Seconds())
 }

@@ -32,6 +32,11 @@ const (
 	TypeEvent = "event"
 	// TypeEOS marks the end of an application's event stream.
 	TypeEOS = "eos"
+	// TypeRawPartial is an encoded partial profile before level dispatch
+	// (level ""), as shipped up the reduction tree.
+	TypeRawPartial = "rawpartial"
+	// TypePartial is a decoded *Partial on its application level.
+	TypePartial = "partial"
 )
 
 // Pipeline wires the analysis modules for one application level onto a
@@ -46,6 +51,13 @@ type Pipeline struct {
 	Topology *TopologyModule
 	// Density accumulates per-rank call statistics for density maps.
 	Density *DensityModule
+
+	// Optional modules, recorded when enabled so tree-mode partials can
+	// be absorbed into them (AbsorbPartial).
+	waits     *WaitStateModule
+	temporal  *TemporalModule
+	callsites *CallsiteModule
+	sizes     *SizesModule
 
 	mu       sync.Mutex
 	finished bool
@@ -235,4 +247,85 @@ func (d *Dispatcher) Pipeline(appID uint32) *Pipeline {
 // dispatcher routes it.
 func (d *Dispatcher) PostRaw(buf []byte) {
 	d.bb.Post(blackboard.TypeID("", TypeRawPack), int64(len(buf)), buf)
+}
+
+// PartialOptions derives the Partial module selection matching the
+// pipeline's enabled modules, so leaf partials and the root pipeline
+// agree on what travels up the tree.
+func (p *Pipeline) PartialOptions() PartialOptions {
+	opts := PartialOptions{AppSize: p.Profiler.size}
+	if p.waits != nil {
+		opts.WaitState = true
+	}
+	if p.temporal != nil {
+		opts.TemporalWindowNs = p.temporal.Window()
+	}
+	if p.callsites != nil {
+		opts.Callsites = true
+	}
+	if p.sizes != nil {
+		opts.Sizes = true
+	}
+	return opts
+}
+
+// AbsorbPartial folds a (typically tree-reduced) partial profile into
+// the pipeline's modules: the final step that turns the root's merged
+// partial into the same report the flat event pipeline would produce.
+// Optional modules are merged only when enabled on the pipeline side;
+// call-site labels registered on the pipeline survive (partials carry
+// statistics, not label tables).
+func (p *Pipeline) AbsorbPartial(pp *Partial) {
+	p.Profiler.Merge(pp.Profiler)
+	p.Topology.Merge(pp.Topology)
+	p.Density.Merge(pp.Density)
+	if p.waits != nil && pp.Waits != nil {
+		p.waits.MergeFull(pp.Waits)
+	}
+	if p.temporal != nil && pp.Temporal != nil {
+		p.temporal.Merge(pp.Temporal)
+	}
+	if p.callsites != nil && pp.Callsites != nil {
+		p.callsites.Merge(pp.Callsites)
+	}
+	if p.sizes != nil && pp.Sizes != nil {
+		p.sizes.Merge(pp.Sizes)
+	}
+}
+
+// PostPartial places a decoded partial on the pipeline's level, where
+// the tree-fold reducer picks it up.
+func (p *Pipeline) PostPartial(pp *Partial, size int64) {
+	p.bb.Post(blackboard.TypeID(p.level, TypePartial), size, pp)
+}
+
+// EnablePartials registers the partial-profile unpacker: encoded
+// partials arriving from the reduction tree (type "rawpartial") are
+// decoded, routed by application id like raw packs, and re-posted as
+// decoded partials on their application level.
+func (d *Dispatcher) EnablePartials() error {
+	return d.bb.Register(blackboard.KS{
+		Name:          "partial-unpacker",
+		Sensitivities: []blackboard.Type{blackboard.TypeID("", TypeRawPartial)},
+		Op: func(_ *blackboard.Blackboard, in []*blackboard.Entry) {
+			buf := in[0].Payload.([]byte)
+			pp, err := DecodePartial(buf)
+			if err != nil {
+				panic(fmt.Sprintf("analysis: undecodable partial: %v", err))
+			}
+			d.mu.RLock()
+			p := d.byApp[pp.AppID]
+			d.mu.RUnlock()
+			if p == nil {
+				panic(fmt.Sprintf("analysis: partial for unregistered app id %d", pp.AppID))
+			}
+			p.PostPartial(pp, int64(len(buf)))
+		},
+	})
+}
+
+// PostRawPartial places an encoded partial profile on the board; the
+// partial unpacker (EnablePartials) decodes and routes it.
+func (d *Dispatcher) PostRawPartial(buf []byte) {
+	d.bb.Post(blackboard.TypeID("", TypeRawPartial), int64(len(buf)), buf)
 }

@@ -146,5 +146,6 @@ func (p *Pipeline) EnableCallsites() (*CallsiteModule, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.callsites = m
 	return m, nil
 }

@@ -1,0 +1,825 @@
+package analysis
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Partial is a partial profile: the per-leaf (and per-aggregator) unit of
+// reduction in the multi-level analysis tree. A leaf analyzer folds its
+// slice of an application's event stream into a Partial, ships the
+// encoded bytes up the tree, and every interior aggregator merges the
+// partials of its children — associative, commutative and
+// identity-preserving, so the tree may combine them in any shape or
+// order and still reproduce the flat single-blackboard profile exactly.
+//
+// The wait-state module is the one stateful case: matched pairs are
+// settled statistics (plain sums), but unmatched send/recv queues must
+// travel with the partial so cross-leaf channels pair at the first
+// common ancestor. Flush therefore distinguishes periodic delta flushes
+// (settled sums only; pending queues stay behind to keep local pairing
+// exact) from the final flush at stream end (queues included).
+type Partial struct {
+	// AppID is the instrumented application the events belong to.
+	AppID uint32
+
+	opts PartialOptions
+
+	// Core modules, always present (the report's mandatory chapters).
+	Profiler *ProfilerModule
+	Topology *TopologyModule
+	Density  *DensityModule
+
+	// Optional modules, present per opts.
+	Waits     *WaitStateModule
+	Temporal  *TemporalModule
+	Callsites *CallsiteModule
+	Sizes     *SizesModule
+}
+
+// PartialOptions selects which analysis modules a Partial carries; it
+// must match across every partial of one application (and the root
+// pipeline's enabled modules).
+type PartialOptions struct {
+	// AppSize is the application's rank count.
+	AppSize int
+	// WaitState enables the late-sender analysis.
+	WaitState bool
+	// TemporalWindowNs enables the temporal map with the given bucket
+	// width (0 = off).
+	TemporalWindowNs int64
+	// Callsites enables the per-call-site breakdown.
+	Callsites bool
+	// Sizes enables the message-size histogram.
+	Sizes bool
+}
+
+// NewPartial creates an empty partial profile.
+func NewPartial(appID uint32, opts PartialOptions) *Partial {
+	pp := &Partial{
+		AppID:    appID,
+		opts:     opts,
+		Profiler: NewProfilerModule(opts.AppSize),
+		Topology: NewTopologyModule(opts.AppSize),
+		Density:  NewDensityModule(opts.AppSize),
+	}
+	if opts.WaitState {
+		pp.Waits = NewWaitStateModule(opts.AppSize)
+	}
+	if opts.TemporalWindowNs > 0 {
+		pp.Temporal = NewTemporalModule(opts.TemporalWindowNs)
+	}
+	if opts.Callsites {
+		pp.Callsites = NewCallsiteModule()
+	}
+	if opts.Sizes {
+		pp.Sizes = NewSizesModule()
+	}
+	return pp
+}
+
+// Options returns the partial's module selection.
+func (pp *Partial) Options() PartialOptions { return pp.opts }
+
+// AddEvent folds one decoded event into every enabled module.
+func (pp *Partial) AddEvent(ev *trace.Event) {
+	pp.Profiler.Add(ev)
+	pp.Topology.Add(ev)
+	pp.Density.Add(ev)
+	if pp.Waits != nil {
+		pp.Waits.Add(ev)
+	}
+	if pp.Temporal != nil {
+		pp.Temporal.Add(ev)
+	}
+	if pp.Callsites != nil {
+		pp.Callsites.Add(ev)
+	}
+	if pp.Sizes != nil {
+		pp.Sizes.Add(ev)
+	}
+}
+
+// Merge folds another partial of the same application into this one.
+// Wait-state pending queues are carried over and re-paired (MergeFull),
+// which is what makes the operation associative and commutative.
+func (pp *Partial) Merge(o *Partial) error {
+	if pp.AppID != o.AppID {
+		return fmt.Errorf("analysis: merging partials of different apps (%d vs %d)", pp.AppID, o.AppID)
+	}
+	if pp.opts != o.opts {
+		return fmt.Errorf("analysis: merging partials with different module selections (%+v vs %+v)", pp.opts, o.opts)
+	}
+	pp.Profiler.Merge(o.Profiler)
+	pp.Topology.Merge(o.Topology)
+	pp.Density.Merge(o.Density)
+	if pp.Waits != nil {
+		pp.Waits.MergeFull(o.Waits)
+	}
+	if pp.Temporal != nil {
+		pp.Temporal.Merge(o.Temporal)
+	}
+	if pp.Callsites != nil {
+		pp.Callsites.Merge(o.Callsites)
+	}
+	if pp.Sizes != nil {
+		pp.Sizes.Merge(o.Sizes)
+	}
+	return nil
+}
+
+// --- wire format ---
+//
+// Little-endian, sequential sections behind a 4-byte magic. Every map is
+// encoded sparse and key-sorted, so two partials with equal contents
+// produce identical bytes regardless of the merge order that built them
+// — the canonical form the property tests compare.
+
+var partialMagic = [4]byte{'V', 'P', 'P', '1'}
+
+const (
+	flagWait uint32 = 1 << iota
+	flagTemporal
+	flagCallsites
+	flagSizes
+	flagPendings
+)
+
+// AppendCanonical appends the partial's full canonical encoding
+// (pending wait-state queues included) to buf without mutating any
+// module — the comparison form.
+func (pp *Partial) AppendCanonical(buf []byte) []byte {
+	return pp.encode(buf, true, false)
+}
+
+// Flush appends the partial's encoding to buf and clears what was
+// encoded. A non-final flush carries only settled statistics and leaves
+// the wait-state pending queues in place (so later local events still
+// pair exactly); the final flush at stream end carries and clears the
+// queues too.
+func (pp *Partial) Flush(buf []byte, final bool) []byte {
+	return pp.encode(buf, final, true)
+}
+
+func (pp *Partial) encode(buf []byte, pendings, reset bool) []byte {
+	w := pwriter{buf: buf}
+	w.buf = append(w.buf, partialMagic[:]...)
+	w.u32(pp.AppID)
+	w.u32(uint32(pp.opts.AppSize))
+	var flags uint32
+	if pp.opts.WaitState {
+		flags |= flagWait
+	}
+	if pp.opts.TemporalWindowNs > 0 {
+		flags |= flagTemporal
+	}
+	if pp.opts.Callsites {
+		flags |= flagCallsites
+	}
+	if pp.opts.Sizes {
+		flags |= flagSizes
+	}
+	if pendings {
+		flags |= flagPendings
+	}
+	w.u32(flags)
+	w.i64(pp.opts.TemporalWindowNs)
+
+	pp.encodeProfiler(&w, reset)
+	pp.encodeTopology(&w, reset)
+	pp.encodeDensity(&w, reset)
+	if pp.Waits != nil {
+		pp.encodeWaits(&w, pendings, reset)
+	}
+	if pp.Temporal != nil {
+		pp.encodeTemporal(&w, reset)
+	}
+	if pp.Callsites != nil {
+		pp.encodeCallsites(&w, reset)
+	}
+	if pp.Sizes != nil {
+		pp.encodeSizes(&w, reset)
+	}
+	return w.buf
+}
+
+func sortedKinds(m map[trace.Kind][]Stat) []trace.Kind {
+	out := make([]trace.Kind, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (pp *Partial) encodeProfiler(w *pwriter, reset bool) {
+	m := pp.Profiler
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w.i64(m.events)
+	kinds := make([]trace.Kind, 0, len(m.total))
+	for k := range m.total {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	w.u32(uint32(len(kinds)))
+	for _, k := range kinds {
+		st := m.total[k]
+		w.u32(uint32(k))
+		w.stat(*st)
+	}
+	if reset {
+		m.events = 0
+		m.total = make(map[trace.Kind]*Stat)
+	}
+}
+
+func (pp *Partial) encodeTopology(w *pwriter, reset bool) {
+	m := pp.Topology
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mat := m.mat
+	n := 0
+	for _, h := range mat.Hits {
+		if h != 0 {
+			n++
+		}
+	}
+	w.u32(uint32(n))
+	for i, h := range mat.Hits {
+		if h == 0 {
+			continue
+		}
+		w.u32(uint32(i))
+		w.stat(Stat{Hits: h, Bytes: mat.Bytes[i], TimeNs: mat.TimeNs[i]})
+	}
+	if reset {
+		m.mat = NewMatrix(mat.N)
+	}
+}
+
+func (pp *Partial) encodeDensity(w *pwriter, reset bool) {
+	m := pp.Density
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	kinds := sortedKinds(m.perKind)
+	w.u32(uint32(len(kinds)))
+	for _, k := range kinds {
+		per := m.perKind[k]
+		n := 0
+		for r := range per {
+			if per[r].Hits != 0 {
+				n++
+			}
+		}
+		w.u32(uint32(k))
+		w.u32(uint32(n))
+		for r := range per {
+			if per[r].Hits == 0 {
+				continue
+			}
+			w.u32(uint32(r))
+			w.stat(per[r])
+		}
+	}
+	if reset {
+		m.perKind = make(map[trace.Kind][]Stat)
+	}
+}
+
+func (pp *Partial) encodeWaits(w *pwriter, pendings, reset bool) {
+	m := pp.Waits
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Settle first: pairs realized here ride in the settled sums, and only
+	// the truly unmatched remainder travels as pending queues.
+	m.settleLocked()
+	w.i64(m.pairs)
+	n := 0
+	for _, v := range m.lateHits {
+		if v != 0 {
+			n++
+		}
+	}
+	w.u32(uint32(n))
+	for r, v := range m.lateHits {
+		if v == 0 {
+			continue
+		}
+		w.u32(uint32(r))
+		w.i64(m.lateNs[r])
+		w.i64(v)
+	}
+	if reset {
+		m.pairs = 0
+		for r := range m.lateNs {
+			m.lateNs[r], m.lateHits[r] = 0, 0
+		}
+	}
+	if !pendings {
+		w.u32(0)
+		w.u32(0)
+		return
+	}
+	// Pairing can leave empty queues behind in the maps; skipping them
+	// keeps the encoding canonical (content-equal modules encode
+	// identically whatever their pairing history).
+	sendKeys := make([]chanKey, 0, len(m.sends))
+	for k, q := range m.sends {
+		if len(q) > 0 {
+			sendKeys = append(sendKeys, k)
+		}
+	}
+	sortChanKeys(sendKeys)
+	w.u32(uint32(len(sendKeys)))
+	for _, k := range sendKeys {
+		w.chanKey(k)
+		q := m.sends[k]
+		w.u32(uint32(len(q)))
+		for _, t := range q {
+			w.i64(t)
+		}
+	}
+	recvKeys := make([]chanKey, 0, len(m.recvs))
+	for k, q := range m.recvs {
+		if len(q) > 0 {
+			recvKeys = append(recvKeys, k)
+		}
+	}
+	sortChanKeys(recvKeys)
+	w.u32(uint32(len(recvKeys)))
+	for _, k := range recvKeys {
+		w.chanKey(k)
+		q := m.recvs[k]
+		w.u32(uint32(len(q)))
+		for _, rv := range q {
+			w.u32(uint32(rv.rank))
+			w.i64(rv.tStart)
+			w.i64(rv.tEnd)
+		}
+	}
+	if reset {
+		m.sends = make(map[chanKey][]int64)
+		m.recvs = make(map[chanKey][]recvEvt)
+	}
+}
+
+func (pp *Partial) encodeTemporal(w *pwriter, reset bool) {
+	m := pp.Temporal
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w.u32(uint32(m.buckets))
+	kinds := sortedKinds(m.perKind)
+	w.u32(uint32(len(kinds)))
+	for _, k := range kinds {
+		per := m.perKind[k]
+		n := 0
+		for b := range per {
+			if per[b] != (Stat{}) {
+				n++
+			}
+		}
+		w.u32(uint32(k))
+		w.u32(uint32(n))
+		for b := range per {
+			if per[b] == (Stat{}) {
+				continue
+			}
+			w.u32(uint32(b))
+			w.stat(per[b])
+		}
+	}
+	if reset {
+		m.perKind = make(map[trace.Kind][]Stat)
+		m.buckets = 0
+	}
+}
+
+func (pp *Partial) encodeCallsites(w *pwriter, reset bool) {
+	m := pp.Callsites
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keys := make([]callsiteKey, 0, len(m.per))
+	for k := range m.per {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].ctx != keys[j].ctx {
+			return keys[i].ctx < keys[j].ctx
+		}
+		return keys[i].kind < keys[j].kind
+	})
+	w.u32(uint32(len(keys)))
+	for _, k := range keys {
+		w.u32(k.ctx)
+		w.u32(uint32(k.kind))
+		w.stat(*m.per[k])
+	}
+	if reset {
+		m.per = make(map[callsiteKey]*Stat)
+	}
+}
+
+func (pp *Partial) encodeSizes(w *pwriter, reset bool) {
+	m := pp.Sizes
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for b := 0; b < SizeBuckets; b++ {
+		if m.hits[b] != 0 {
+			n++
+		}
+	}
+	w.u32(uint32(n))
+	for b := 0; b < SizeBuckets; b++ {
+		if m.hits[b] == 0 {
+			continue
+		}
+		w.u32(uint32(b))
+		w.i64(m.hits[b])
+		w.i64(m.bytes[b])
+	}
+	if reset {
+		m.hits = [SizeBuckets]int64{}
+		m.bytes = [SizeBuckets]int64{}
+	}
+}
+
+func sortChanKeys(keys []chanKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		if a.dst != b.dst {
+			return a.dst < b.dst
+		}
+		if a.tag != b.tag {
+			return a.tag < b.tag
+		}
+		return a.comm < b.comm
+	})
+}
+
+// DecodePartial decodes an encoded partial profile. Malformed input
+// returns an error, never panics.
+func DecodePartial(buf []byte) (*Partial, error) {
+	r := preader{buf: buf}
+	var magic [4]byte
+	r.bytes(magic[:])
+	if r.err == nil && magic != partialMagic {
+		return nil, fmt.Errorf("analysis: bad partial magic %q", magic[:])
+	}
+	appID := r.u32()
+	appSize := int(r.u32())
+	flags := r.u32()
+	window := r.i64()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if appSize < 0 || appSize > 1<<24 {
+		return nil, fmt.Errorf("analysis: implausible partial app size %d", appSize)
+	}
+	opts := PartialOptions{
+		AppSize:   appSize,
+		WaitState: flags&flagWait != 0,
+		Callsites: flags&flagCallsites != 0,
+		Sizes:     flags&flagSizes != 0,
+	}
+	if flags&flagTemporal != 0 {
+		if window <= 0 {
+			return nil, fmt.Errorf("analysis: partial temporal flag with window %d", window)
+		}
+		opts.TemporalWindowNs = window
+	}
+	pp := NewPartial(appID, opts)
+	if err := pp.decodeProfiler(&r); err != nil {
+		return nil, err
+	}
+	if err := pp.decodeTopology(&r); err != nil {
+		return nil, err
+	}
+	if err := pp.decodeDensity(&r); err != nil {
+		return nil, err
+	}
+	if pp.Waits != nil {
+		if err := pp.decodeWaits(&r); err != nil {
+			return nil, err
+		}
+	}
+	if pp.Temporal != nil {
+		if err := pp.decodeTemporal(&r); err != nil {
+			return nil, err
+		}
+	}
+	if pp.Callsites != nil {
+		if err := pp.decodeCallsites(&r); err != nil {
+			return nil, err
+		}
+	}
+	if pp.Sizes != nil {
+		if err := pp.decodeSizes(&r); err != nil {
+			return nil, err
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(r.buf) {
+		return nil, fmt.Errorf("analysis: %d trailing bytes after partial", len(r.buf)-r.off)
+	}
+	return pp, nil
+}
+
+func (pp *Partial) decodeProfiler(r *preader) error {
+	m := pp.Profiler
+	m.events = r.i64()
+	n := int(r.u32())
+	if err := r.fits(n, 4+24); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		k := trace.Kind(r.u32())
+		st := r.stat()
+		m.total[k] = &st
+	}
+	return r.err
+}
+
+func (pp *Partial) decodeTopology(r *preader) error {
+	m := pp.Topology
+	n := int(r.u32())
+	if err := r.fits(n, 4+24); err != nil {
+		return err
+	}
+	cells := len(m.mat.Hits)
+	for i := 0; i < n; i++ {
+		idx := int(r.u32())
+		st := r.stat()
+		if r.err != nil {
+			return r.err
+		}
+		if idx >= cells {
+			return fmt.Errorf("analysis: partial topology cell %d outside %dx%d", idx, m.mat.N, m.mat.N)
+		}
+		m.mat.Hits[idx] = st.Hits
+		m.mat.Bytes[idx] = st.Bytes
+		m.mat.TimeNs[idx] = st.TimeNs
+	}
+	return nil
+}
+
+func (pp *Partial) decodeDensity(r *preader) error {
+	m := pp.Density
+	nk := int(r.u32())
+	if err := r.fits(nk, 8); err != nil {
+		return err
+	}
+	for i := 0; i < nk; i++ {
+		k := trace.Kind(r.u32())
+		n := int(r.u32())
+		if err := r.fits(n, 4+24); err != nil {
+			return err
+		}
+		per := make([]Stat, m.size)
+		for j := 0; j < n; j++ {
+			rank := int(r.u32())
+			st := r.stat()
+			if r.err != nil {
+				return r.err
+			}
+			if rank >= m.size {
+				return fmt.Errorf("analysis: partial density rank %d outside app of %d", rank, m.size)
+			}
+			per[rank] = st
+		}
+		m.perKind[k] = per
+	}
+	return nil
+}
+
+func (pp *Partial) decodeWaits(r *preader) error {
+	m := pp.Waits
+	m.pairs = r.i64()
+	n := int(r.u32())
+	if err := r.fits(n, 4+16); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		rank := int(r.u32())
+		lateNs := r.i64()
+		lateHits := r.i64()
+		if r.err != nil {
+			return r.err
+		}
+		if rank >= m.size {
+			return fmt.Errorf("analysis: partial wait rank %d outside app of %d", rank, m.size)
+		}
+		m.lateNs[rank] = lateNs
+		m.lateHits[rank] = lateHits
+	}
+	nq := int(r.u32())
+	if err := r.fits(nq, 16+4); err != nil {
+		return err
+	}
+	for i := 0; i < nq; i++ {
+		key := r.chanKey()
+		ql := int(r.u32())
+		if err := r.fits(ql, 8); err != nil {
+			return err
+		}
+		q := make([]int64, ql)
+		for j := range q {
+			q[j] = r.i64()
+		}
+		if r.err != nil {
+			return r.err
+		}
+		m.sends[key] = q
+	}
+	nq = int(r.u32())
+	if err := r.fits(nq, 16+4); err != nil {
+		return err
+	}
+	for i := 0; i < nq; i++ {
+		key := r.chanKey()
+		ql := int(r.u32())
+		if err := r.fits(ql, 4+16); err != nil {
+			return err
+		}
+		q := make([]recvEvt, ql)
+		for j := range q {
+			q[j] = recvEvt{rank: int32(r.u32()), tStart: r.i64(), tEnd: r.i64()}
+		}
+		if r.err != nil {
+			return r.err
+		}
+		m.recvs[key] = q
+	}
+	return r.err
+}
+
+func (pp *Partial) decodeTemporal(r *preader) error {
+	m := pp.Temporal
+	m.buckets = int(r.u32())
+	if m.buckets < 0 || m.buckets > 1<<28 {
+		return fmt.Errorf("analysis: implausible partial temporal bucket count %d", m.buckets)
+	}
+	nk := int(r.u32())
+	if err := r.fits(nk, 8); err != nil {
+		return err
+	}
+	for i := 0; i < nk; i++ {
+		k := trace.Kind(r.u32())
+		n := int(r.u32())
+		if err := r.fits(n, 4+24); err != nil {
+			return err
+		}
+		var per []Stat
+		for j := 0; j < n; j++ {
+			b := int(r.u32())
+			st := r.stat()
+			if r.err != nil {
+				return r.err
+			}
+			if b >= m.buckets {
+				return fmt.Errorf("analysis: partial temporal bucket %d outside %d", b, m.buckets)
+			}
+			if len(per) <= b {
+				grown := make([]Stat, b+1)
+				copy(grown, per)
+				per = grown
+			}
+			per[b] = st
+		}
+		m.perKind[k] = per
+	}
+	return nil
+}
+
+func (pp *Partial) decodeCallsites(r *preader) error {
+	m := pp.Callsites
+	n := int(r.u32())
+	if err := r.fits(n, 8+24); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		key := callsiteKey{ctx: r.u32(), kind: trace.Kind(r.u32())}
+		st := r.stat()
+		if r.err != nil {
+			return r.err
+		}
+		m.per[key] = &st
+	}
+	return nil
+}
+
+func (pp *Partial) decodeSizes(r *preader) error {
+	m := pp.Sizes
+	n := int(r.u32())
+	if err := r.fits(n, 4+16); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		b := int(r.u32())
+		hits := r.i64()
+		bytes := r.i64()
+		if r.err != nil {
+			return r.err
+		}
+		if b >= SizeBuckets {
+			return fmt.Errorf("analysis: partial size bucket %d outside %d", b, SizeBuckets)
+		}
+		m.hits[b] = hits
+		m.bytes[b] = bytes
+	}
+	return nil
+}
+
+// --- primitive encoding helpers ---
+
+type pwriter struct{ buf []byte }
+
+func (w *pwriter) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *pwriter) i64(v int64)  { w.buf = binary.LittleEndian.AppendUint64(w.buf, uint64(v)) }
+func (w *pwriter) stat(s Stat)  { w.i64(s.Hits); w.i64(s.Bytes); w.i64(s.TimeNs) }
+func (w *pwriter) chanKey(k chanKey) {
+	w.u32(uint32(k.src))
+	w.u32(uint32(k.dst))
+	w.u32(uint32(k.tag))
+	w.u32(k.comm)
+}
+
+type preader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *preader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("analysis: truncated partial at byte %d of %d", r.off, len(r.buf))
+	}
+}
+
+// fits guards count-prefixed sections: n items of at least min bytes each
+// must fit in the remaining buffer, so a corrupt count can't drive a huge
+// allocation or a long spin.
+func (r *preader) fits(n, min int) error {
+	if r.err != nil {
+		return r.err
+	}
+	if n < 0 || n*min > len(r.buf)-r.off {
+		r.fail()
+	}
+	return r.err
+}
+
+func (r *preader) bytes(dst []byte) {
+	if r.err != nil {
+		return
+	}
+	if r.off+len(dst) > len(r.buf) {
+		r.fail()
+		return
+	}
+	copy(dst, r.buf[r.off:])
+	r.off += len(dst)
+}
+
+func (r *preader) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+4 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *preader) i64() int64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return int64(v)
+}
+
+func (r *preader) stat() Stat {
+	return Stat{Hits: r.i64(), Bytes: r.i64(), TimeNs: r.i64()}
+}
+
+func (r *preader) chanKey() chanKey {
+	return chanKey{src: int32(r.u32()), dst: int32(r.u32()), tag: int32(r.u32()), comm: r.u32()}
+}

@@ -134,5 +134,6 @@ func (p *Pipeline) EnableSizes() (*SizesModule, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.sizes = m
 	return m, nil
 }

@@ -186,5 +186,6 @@ func (p *Pipeline) EnableTemporal(windowNs int64) (*TemporalModule, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.temporal = m
 	return m, nil
 }

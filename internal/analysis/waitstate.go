@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"sort"
 	"sync"
 
 	"repro/internal/blackboard"
@@ -21,14 +22,27 @@ import (
 // between its own start and the send's start is pure wait, attributed to
 // the receiving rank.
 //
+// Pairing is deferred, not eager: Add only inserts the event into its
+// channel's time-sorted queue, and matched pairs are settled positionally
+// when results are read (or queues are merged/encoded). The parallel
+// blackboard hands a knowledge source events in job-scheduling order, not
+// time order, so pairing "send with oldest queued recv" at arrival time
+// would make the matching depend on worker scheduling. Deferred positional
+// pairing over sorted queues reconstructs the channel's true FIFO
+// matching whatever order the events arrived in — and is exactly the
+// operation the reduction tree's MergeFull performs, so a tree of
+// partial profiles settles to the same pairs as the flat analysis.
+// The trade-off is queue memory proportional to the channel's message
+// count between settles rather than to in-flight messages.
+//
 // Send-side blocking (Late Receiver) does not occur under the eager
 // protocol this runtime models, so only the receive side is classified.
 type WaitStateModule struct {
 	mu   sync.Mutex
 	size int
 
-	// pending events per channel, FIFO (events from different ranks
-	// arrive in arbitrary order, so both sides queue).
+	// pending events per channel, each queue sorted by time (= the
+	// channel's FIFO order, since each side originates at a single rank).
 	sends map[chanKey][]int64 // send start times
 	recvs map[chanKey][]recvEvt
 
@@ -62,7 +76,8 @@ func NewWaitStateModule(size int) *WaitStateModule {
 	}
 }
 
-// Add folds one event in.
+// Add inserts one event into its channel queue (no pairing yet — see the
+// type comment).
 func (m *WaitStateModule) Add(ev *trace.Event) {
 	switch ev.Kind {
 	case trace.KindSend, trace.KindIsend:
@@ -71,12 +86,8 @@ func (m *WaitStateModule) Add(ev *trace.Event) {
 		}
 		key := chanKey{src: ev.Rank, dst: ev.Peer, tag: ev.Tag, comm: ev.Comm}
 		m.mu.Lock()
-		if q := m.recvs[key]; len(q) > 0 {
-			m.pair(q[0], ev.TStart)
-			m.recvs[key] = q[1:]
-		} else {
-			m.sends[key] = append(m.sends[key], ev.TStart)
-		}
+		m.sends[key] = insertSorted(m.sends[key], ev.TStart,
+			func(a, b int64) bool { return a < b })
 		m.mu.Unlock()
 	case trace.KindRecv, trace.KindWait:
 		if ev.Peer < 0 {
@@ -93,13 +104,39 @@ func (m *WaitStateModule) Add(ev *trace.Event) {
 		}
 		rv := recvEvt{rank: ev.Rank, tStart: ev.TStart, tEnd: ev.TEnd}
 		m.mu.Lock()
-		if q := m.sends[key]; len(q) > 0 {
-			m.pair(rv, q[0])
-			m.sends[key] = q[1:]
-		} else {
-			m.recvs[key] = append(m.recvs[key], rv)
-		}
+		m.recvs[key] = insertSorted(m.recvs[key], rv, lessRecv)
 		m.mu.Unlock()
+	}
+}
+
+func lessRecv(a, b recvEvt) bool {
+	if a.tStart != b.tStart {
+		return a.tStart < b.tStart
+	}
+	return a.tEnd < b.tEnd
+}
+
+// insertSorted inserts v into the sorted queue q, after any equal
+// elements (stable). The common case — in-order arrival — is a plain
+// append.
+func insertSorted[T any](q []T, v T, less func(x, y T) bool) []T {
+	if n := len(q); n == 0 || !less(v, q[n-1]) {
+		return append(q, v)
+	}
+	i := sort.Search(len(q), func(i int) bool { return less(v, q[i]) })
+	q = append(q, v)
+	copy(q[i+1:], q[i:])
+	q[i] = v
+	return q
+}
+
+// settleLocked positionally pairs every channel that currently holds both
+// sides. Called with m.mu held.
+func (m *WaitStateModule) settleLocked() {
+	for k := range m.sends {
+		if len(m.recvs[k]) > 0 {
+			m.drainChannel(k)
+		}
 	}
 }
 
@@ -127,6 +164,7 @@ func (m *WaitStateModule) pair(rv recvEvt, sendStart int64) {
 func (m *WaitStateModule) Pairs() int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.settleLocked()
 	return m.pairs
 }
 
@@ -136,6 +174,7 @@ func (m *WaitStateModule) Pairs() int64 {
 func (m *WaitStateModule) Unmatched() int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.settleLocked()
 	var n int64
 	for _, q := range m.sends {
 		n += int64(len(q))
@@ -152,6 +191,7 @@ func (m *WaitStateModule) Unmatched() int64 {
 func (m *WaitStateModule) LateSenderMap() []float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.settleLocked()
 	out := make([]float64, m.size)
 	for r, v := range m.lateNs {
 		out[r] = float64(v)
@@ -163,6 +203,7 @@ func (m *WaitStateModule) LateSenderMap() []float64 {
 func (m *WaitStateModule) LateSenderHits() []int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.settleLocked()
 	out := make([]int64, m.size)
 	copy(out, m.lateHits)
 	return out
@@ -172,6 +213,7 @@ func (m *WaitStateModule) LateSenderHits() []int64 {
 func (m *WaitStateModule) TotalLateNs() int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.settleLocked()
 	var t int64
 	for _, v := range m.lateNs {
 		t += v
@@ -180,9 +222,11 @@ func (m *WaitStateModule) TotalLateNs() int64 {
 }
 
 // Merge folds another wait-state module's per-rank accumulators into this
-// one (pending unmatched events are not transferred).
+// one (pending unmatched events are not transferred, so o is settled
+// first to realize every pair its queues already hold).
 func (m *WaitStateModule) Merge(o *WaitStateModule) {
 	o.mu.Lock()
+	o.settleLocked()
 	ln := append([]int64(nil), o.lateNs...)
 	lh := append([]int64(nil), o.lateHits...)
 	pr := o.pairs
@@ -196,6 +240,109 @@ func (m *WaitStateModule) Merge(o *WaitStateModule) {
 			m.lateHits[r] += lh[r]
 		}
 	}
+}
+
+// MergeFull folds another wait-state module into this one *including*
+// the pending unmatched queues, re-pairing any channels that now hold
+// both sides. Per channel, all sends originate at one rank and all
+// receives at another, and each rank's stream is time-ordered — so every
+// pending queue is sorted by time, a sorted merge reconstructs the
+// channel's true FIFO order, and positional pairing of the merged queues
+// reproduces exactly the pairs the flat single-blackboard analysis would
+// have formed. That makes MergeFull associative and commutative: the
+// invariant the reduction tree is built on.
+func (m *WaitStateModule) MergeFull(o *WaitStateModule) {
+	o.mu.Lock()
+	ln := append([]int64(nil), o.lateNs...)
+	lh := append([]int64(nil), o.lateHits...)
+	pr := o.pairs
+	sends := make(map[chanKey][]int64, len(o.sends))
+	for k, q := range o.sends {
+		if len(q) > 0 {
+			sends[k] = append([]int64(nil), q...)
+		}
+	}
+	recvs := make(map[chanKey][]recvEvt, len(o.recvs))
+	for k, q := range o.recvs {
+		if len(q) > 0 {
+			recvs[k] = append([]recvEvt(nil), q...)
+		}
+	}
+	o.mu.Unlock()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pairs += pr
+	for r := range ln {
+		if r < m.size {
+			m.lateNs[r] += ln[r]
+			m.lateHits[r] += lh[r]
+		}
+	}
+	for k, q := range sends {
+		m.sends[k] = mergeSorted(m.sends[k], q, func(a, b int64) bool { return a < b })
+	}
+	for k, q := range recvs {
+		m.recvs[k] = mergeSorted(m.recvs[k], q, func(a, b recvEvt) bool {
+			if a.tStart != b.tStart {
+				return a.tStart < b.tStart
+			}
+			return a.tEnd < b.tEnd
+		})
+	}
+	for k := range sends {
+		m.drainChannel(k)
+	}
+	for k := range recvs {
+		m.drainChannel(k)
+	}
+}
+
+// drainChannel positionally pairs a channel's queues while both sides
+// have entries, trimming empty queues from the maps so the module stays
+// in canonical form. Called with m.mu held.
+func (m *WaitStateModule) drainChannel(key chanKey) {
+	sq, rq := m.sends[key], m.recvs[key]
+	n := len(sq)
+	if len(rq) < n {
+		n = len(rq)
+	}
+	for i := 0; i < n; i++ {
+		m.pair(rq[i], sq[i])
+	}
+	if len(sq) > n {
+		m.sends[key] = sq[n:]
+	} else {
+		delete(m.sends, key)
+	}
+	if len(rq) > n {
+		m.recvs[key] = rq[n:]
+	} else {
+		delete(m.recvs, key)
+	}
+}
+
+// mergeSorted merges two slices already sorted under less.
+func mergeSorted[T any](a, b []T, less func(x, y T) bool) []T {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]T, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if less(b[j], a[i]) {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
 }
 
 // EnableWaitState registers a wait-state KS on the pipeline's level and
@@ -213,5 +360,6 @@ func (p *Pipeline) EnableWaitState() (*WaitStateModule, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.waits = m
 	return m, nil
 }

@@ -279,28 +279,7 @@ func (bb *Blackboard) Register(ks KS) error {
 // sensitivity sets are released. Removing an unknown name is a no-op so a
 // KS can safely remove itself from inside its own operation.
 func (bb *Blackboard) Unregister(name string) {
-	bb.mu.Lock()
-	st, ok := bb.byName[name]
-	if ok {
-		delete(bb.byName, name)
-		for t, list := range bb.bySens {
-			for i, s := range list {
-				if s == st {
-					bb.bySens[t] = append(list[:i:i], list[i+1:]...)
-					break
-				}
-			}
-		}
-	}
-	bb.mu.Unlock()
-	if !ok {
-		return
-	}
-	st.mu.Lock()
-	pend := st.pend
-	st.pend = make([][]*Entry, len(st.ks.Sensitivities))
-	st.mu.Unlock()
-	for _, slot := range pend {
+	for _, slot := range bb.TakeKS(name) {
 		for _, e := range slot {
 			e.Release()
 		}

@@ -1,0 +1,162 @@
+package blackboard
+
+import (
+	"sync"
+	"testing"
+)
+
+// sumPayload is the toy associative-commutative payload the reducer
+// tests fold: a sum plus a count of contributing posts.
+type sumPayload struct {
+	mu    sync.Mutex
+	sum   int64
+	posts int64
+}
+
+func sumCombine(a, b *Entry) *Entry {
+	pa, pb := a.Payload.(*sumPayload), b.Payload.(*sumPayload)
+	pb.mu.Lock()
+	s, n := pb.sum, pb.posts
+	pb.mu.Unlock()
+	pa.mu.Lock()
+	pa.sum += s
+	pa.posts += n
+	pa.mu.Unlock()
+	a.Size += b.Size
+	return a
+}
+
+// TestReducerFoldsToOne posts N entries through a reducer and checks
+// they fold into a single parked entry holding the exact sum, with N-1
+// combines, under a concurrent worker pool.
+func TestReducerFoldsToOne(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 17, 256} {
+		bb := New(Config{Workers: 4})
+		typ := TypeID("app", "partial")
+		red, err := NewReducer(bb, "fold", typ, sumCombine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want int64
+		for i := 1; i <= n; i++ {
+			bb.Post(typ, 1, &sumPayload{sum: int64(i), posts: 1})
+			want += int64(i)
+		}
+		bb.Drain()
+		if got := red.Merges(); got != int64(n-1) {
+			t.Errorf("n=%d: %d merges, want %d", n, got, n-1)
+		}
+		e := red.Take()
+		if e == nil {
+			t.Fatalf("n=%d: no folded entry", n)
+		}
+		p := e.Payload.(*sumPayload)
+		if p.sum != want || p.posts != int64(n) {
+			t.Errorf("n=%d: folded (sum=%d posts=%d), want (%d, %d)", n, p.sum, p.posts, want, n)
+		}
+		if e.Size != int64(n) {
+			t.Errorf("n=%d: folded size %d, want %d", n, e.Size, n)
+		}
+		if !e.Writable() {
+			t.Errorf("n=%d: folded entry has %d refs, want sole ownership", n, e.Refs())
+		}
+		e.Release()
+		if bb.Registered("fold") {
+			t.Error("Take left the reducer registered")
+		}
+		bb.Close()
+	}
+}
+
+// TestReducerTakeEmpty checks Take on a reducer that never saw a post.
+func TestReducerTakeEmpty(t *testing.T) {
+	bb := New(Config{Workers: 2})
+	defer bb.Close()
+	red, err := NewReducer(bb, "fold", TypeID("", "x"), sumCombine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := red.Take(); e != nil {
+		t.Fatalf("empty reducer returned entry %+v", e)
+	}
+	if red.Merges() != 0 {
+		t.Fatalf("empty reducer counted %d merges", red.Merges())
+	}
+}
+
+// TestReducerFreshEntryCombine exercises a combine that allocates a new
+// output entry instead of mutating an input: reference counts must still
+// settle to sole ownership of the survivor.
+func TestReducerFreshEntryCombine(t *testing.T) {
+	bb := New(Config{Workers: 4})
+	defer bb.Close()
+	typ := TypeID("", "fresh")
+	combine := func(a, b *Entry) *Entry {
+		pa, pb := a.Payload.(*sumPayload), b.Payload.(*sumPayload)
+		return NewEntry(typ, a.Size+b.Size, &sumPayload{sum: pa.sum + pb.sum, posts: pa.posts + pb.posts})
+	}
+	red, err := NewReducer(bb, "fold", typ, combine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	for i := 1; i <= n; i++ {
+		bb.Post(typ, 1, &sumPayload{sum: int64(i), posts: 1})
+	}
+	bb.Drain()
+	e := red.Take()
+	if e == nil {
+		t.Fatal("no folded entry")
+	}
+	defer e.Release()
+	if p := e.Payload.(*sumPayload); p.sum != n*(n+1)/2 || p.posts != n {
+		t.Fatalf("folded (sum=%d posts=%d), want (%d, %d)", p.sum, p.posts, n*(n+1)/2, n)
+	}
+	if !e.Writable() {
+		t.Fatalf("folded entry has %d refs", e.Refs())
+	}
+}
+
+// TestTakeKSHandsOverParkedEntries checks TakeKS transfers parked
+// entries with their references intact (unlike Unregister, which
+// releases them), and that unknown names return nil.
+func TestTakeKSHandsOverParkedEntries(t *testing.T) {
+	bb := New(Config{Workers: 2})
+	defer bb.Close()
+	a, b := TypeID("", "a"), TypeID("", "b")
+	err := bb.Register(KS{
+		Name:          "join",
+		Sensitivities: []Type{a, b},
+		Op:            func(_ *Blackboard, _ []*Entry) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three a-entries and no b-entry: all three park on slot 0.
+	for i := 0; i < 3; i++ {
+		bb.Post(a, int64(i), i)
+	}
+	bb.Drain()
+	slots := bb.TakeKS("join")
+	if len(slots) != 2 {
+		t.Fatalf("TakeKS returned %d slots, want 2", len(slots))
+	}
+	if len(slots[0]) != 3 || len(slots[1]) != 0 {
+		t.Fatalf("parked entries %d/%d, want 3/0", len(slots[0]), len(slots[1]))
+	}
+	for i, e := range slots[0] {
+		if e.Payload.(int) != i {
+			t.Errorf("slot 0 entry %d holds %v", i, e.Payload)
+		}
+		if !e.Writable() {
+			t.Errorf("parked entry %d has %d refs, want 1", i, e.Refs())
+		}
+		e.Release()
+	}
+	if bb.Registered("join") {
+		t.Error("TakeKS left the KS registered")
+	}
+	if got := bb.TakeKS("nope"); got != nil {
+		t.Errorf("TakeKS of unknown name returned %v", got)
+	}
+}

@@ -8,14 +8,36 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/blackboard"
+	"repro/internal/des"
 	"repro/internal/instrument"
 	"repro/internal/mpi"
 	"repro/internal/nas"
 	"repro/internal/report"
+	"repro/internal/tbon"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/vmpi"
 )
+
+// DefaultTreeFanin is the nominal reduction-tree fan-in when TreeLevels
+// selects a tree but TreeFanin is left zero. The paper's TBON sweet spot
+// sits in the 4-16 range; 8 balances tier count against per-node merge
+// load.
+const DefaultTreeFanin = 8
+
+// AggregatorFault schedules a fail-stop crash of one aggregator rank, for
+// studying the tree's degraded mode (PR 1's fault machinery applied to
+// the reduction tree).
+type AggregatorFault struct {
+	// Local is the partition-local rank of the aggregator to kill.
+	// Killing the root is rejected: it feeds the root blackboard, and
+	// fail-stop semantics would lose the report itself.
+	Local int
+	// At is the virtual time of the crash. Times below one millisecond
+	// are deferred to one millisecond so the partition mapping handshake
+	// (which is not fault-aware) completes first.
+	At time.Duration
+}
 
 // ProfileOptions parameterizes a full profiling run.
 type ProfileOptions struct {
@@ -39,7 +61,9 @@ type ProfileOptions struct {
 	Sizes bool
 	// Export, when non-nil, enables the selective trace-export KS ("IO
 	// proxy", paper §VI) on every application; after the run each
-	// application's module is handed to the callback for writing.
+	// application's module is handed to the callback for writing. Export
+	// needs the raw event flow and is therefore incompatible with the
+	// reduction tree (TreeLevels > 1).
 	Export func(app string, m *analysis.ExportModule)
 	// ExportFilter selects the exported events (nil = everything).
 	ExportFilter func(*trace.Event) bool
@@ -57,6 +81,58 @@ type ProfileOptions struct {
 	// TelemetryPeriod is the snapshot cadence in virtual time
 	// (0 = the sampler's 10ms default).
 	TelemetryPeriod time.Duration
+
+	// TreeLevels selects the analysis topology: 1 (or 0) is the seed's
+	// flat pipeline, where every analyzer posts raw packs straight on the
+	// root blackboard. L >= 2 inserts a reduction tree with L-1 aggregator
+	// tiers (the top tier being the single root that feeds the
+	// blackboard): analyzers become leaves that fold packs into partial
+	// profiles locally and only compacted partials travel upward.
+	TreeLevels int
+	// TreeFanin is the tree's nominal fan-in (0 = DefaultTreeFanin).
+	TreeFanin int
+	// TreeFlushPacks makes leaves and aggregators ship their accumulated
+	// partial-profile deltas every N ingested packs/blocks (0 = only at
+	// end of stream). Pending wait-state queues always stay local until
+	// the final flush so send/recv pairing remains exact.
+	TreeFlushPacks int
+	// AggregatorFaults crashes aggregator ranks mid-run (tree mode only).
+	AggregatorFaults []AggregatorFault
+}
+
+// RunStats reports a profiling run's coupling-level measurements — the
+// quantities the reduction tree exists to improve, plus its failure
+// counters.
+type RunStats struct {
+	// Analyzers is the resolved analyzer (leaf) partition size.
+	Analyzers int
+	// AppSeconds is the slowest application's virtual wall time.
+	AppSeconds float64
+	// AnalyzedEvents counts the events that reached the root pipelines
+	// (after tree reduction, when one is configured).
+	AnalyzedEvents int64
+	// RootIngestBytes / RootPosts count the bytes and blocks posted on
+	// the root blackboard: raw packs in flat mode, encoded partial
+	// profiles in tree mode. The tree's acceptance metric.
+	RootIngestBytes int64
+	RootPosts       int64
+	// TreeTiers / TreeRanks describe the aggregator partition (0 when
+	// flat).
+	TreeTiers int
+	TreeRanks int
+	// TierIngestBytes[t] counts the encoded-partial bytes entering tree
+	// tier t (nil when flat).
+	TierIngestBytes []int64
+	// ReducerMerges counts partial-profile folds on the root blackboard.
+	ReducerMerges int64
+	// Reparented counts blocks that arrived at a node other than the
+	// writer's primary parent (failover traffic inside the tree).
+	Reparented int64
+	// UpFailovers / UpQuarantines / UpDropped aggregate the tree's
+	// upstream write-side failure counters across leaves and aggregators.
+	UpFailovers   int64
+	UpQuarantines int64
+	UpDropped     int64
 }
 
 // ProfileRun executes one or more instrumented applications together with
@@ -71,8 +147,22 @@ type ProfileOptions struct {
 // and the unpacker/profiler/topology/density knowledge sources reduce
 // them concurrently with the simulation.
 func ProfileRun(p Platform, workloads []*nas.Workload, opts ProfileOptions) (*report.Report, error) {
+	rep, _, err := ProfileRunStats(p, workloads, opts)
+	return rep, err
+}
+
+// ProfileRunStats is ProfileRun returning the run's coupling statistics
+// alongside the report. With TreeLevels > 1 the analyzer partition turns
+// into the leaf level of a multi-tier reduction tree: leaves fold packs
+// into partial profiles, interior aggregator ranks (a dedicated MPMD
+// partition) merge and forward them over per-tier VMPI streams, and only
+// the root posts (much smaller) partials on the blackboard, where a
+// per-application reducer folds them into one profile per application.
+// The profile content is identical to the flat pipeline's; only the
+// transport topology changes.
+func ProfileRunStats(p Platform, workloads []*nas.Workload, opts ProfileOptions) (*report.Report, *RunStats, error) {
 	if len(workloads) == 0 {
-		return nil, fmt.Errorf("exp: no workloads to profile")
+		return nil, nil, fmt.Errorf("exp: no workloads to profile")
 	}
 	appProcs := 0
 	for _, w := range workloads {
@@ -91,6 +181,42 @@ func ProfileRun(p Platform, workloads []*nas.Workload, opts ProfileOptions) (*re
 		packBytes = StreamBlockSize
 	}
 
+	levels := opts.TreeLevels
+	if levels <= 0 {
+		levels = 1
+	}
+	var plan *tbon.Plan
+	if levels > 1 {
+		if opts.Export != nil {
+			return nil, nil, fmt.Errorf("exp: trace export needs the raw event flow; use the flat pipeline (TreeLevels <= 1)")
+		}
+		fanin := opts.TreeFanin
+		if fanin == 0 {
+			fanin = DefaultTreeFanin
+		}
+		var err error
+		if plan, err = tbon.NewPlan(analyzers, fanin, levels-1); err != nil {
+			return nil, nil, err
+		}
+		for _, f := range opts.AggregatorFaults {
+			if f.Local < 0 || f.Local >= plan.Ranks() {
+				return nil, nil, fmt.Errorf("exp: aggregator fault rank %d outside partition of %d", f.Local, plan.Ranks())
+			}
+			if f.Local == plan.Root() {
+				return nil, nil, fmt.Errorf("exp: cannot kill the tree root (local %d): it feeds the root blackboard", f.Local)
+			}
+		}
+	} else if len(opts.AggregatorFaults) > 0 {
+		return nil, nil, fmt.Errorf("exp: aggregator faults need a reduction tree (TreeLevels > 1)")
+	}
+
+	stats := &RunStats{Analyzers: analyzers}
+	if plan != nil {
+		stats.TreeTiers = plan.Tiers()
+		stats.TreeRanks = plan.Ranks()
+		stats.TierIngestBytes = make([]int64, plan.Tiers())
+	}
+
 	bb := blackboard.New(blackboard.Config{Workers: workers})
 	defer bb.Close()
 
@@ -102,6 +228,7 @@ func ProfileRun(p Platform, workloads []*nas.Workload, opts ProfileOptions) (*re
 		streamMetrics *telemetry.StreamMetrics
 		sinkMetrics   *telemetry.SinkMetrics
 		codecMetrics  *telemetry.CodecMetrics
+		treeMetrics   *telemetry.TreeMetrics
 	)
 	if opts.Telemetry {
 		reg = telemetry.NewRegistry()
@@ -110,15 +237,18 @@ func ProfileRun(p Platform, workloads []*nas.Workload, opts ProfileOptions) (*re
 		streamMetrics = telemetry.NewStreamMetrics(reg)
 		sinkMetrics = telemetry.NewSinkMetrics(reg)
 		codecMetrics = telemetry.NewCodecMetrics(reg)
+		if plan != nil {
+			treeMetrics = telemetry.NewTreeMetrics(reg, plan.Tiers())
+		}
 	}
 
 	disp, err := analysis.NewDispatcher(bb)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if opts.Telemetry {
 		if health, err = analysis.NewEngineHealthKS(bb); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 
@@ -130,7 +260,24 @@ func ProfileRun(p Platform, workloads []*nas.Workload, opts ProfileOptions) (*re
 		}
 	}
 
-	programs := make([]mpi.Program, 0, len(workloads)+1)
+	var tree *treeCtx
+	if plan != nil {
+		if err := disp.EnablePartials(); err != nil {
+			return nil, nil, err
+		}
+		tree = &treeCtx{
+			plan:       plan,
+			flushEvery: opts.TreeFlushPacks,
+			apps:       len(workloads),
+			leafOpts:   make([]analysis.PartialOptions, len(workloads)),
+			disp:       disp,
+			tm:         treeMetrics,
+			fail:       fail,
+			stats:      stats,
+		}
+	}
+
+	programs := make([]mpi.Program, 0, len(workloads)+2)
 	for i, w := range workloads {
 		i, w := i, w
 		programs = append(programs, mpi.Program{
@@ -196,8 +343,11 @@ func ProfileRun(p Platform, workloads []*nas.Workload, opts ProfileOptions) (*re
 			sess := layout.Init(r)
 			var m vmpi.Map
 			// Additive map over every application partition
-			// (multi-instrumentation, paper Figure 10).
-			for pid := 0; pid < sess.Layout().PartitionCount(); pid++ {
+			// (multi-instrumentation, paper Figure 10). Only application
+			// partitions are mapped: the aggregator partition, if any,
+			// couples through direct per-tier streams, not the mapping
+			// protocol.
+			for pid := 0; pid < len(workloads); pid++ {
 				if pid == sess.PartitionID() {
 					continue
 				}
@@ -210,6 +360,27 @@ func ProfileRun(p Platform, workloads []*nas.Workload, opts ProfileOptions) (*re
 			if err := st.OpenMap(&m, "r"); err != nil {
 				fail(err)
 				return
+			}
+			// absorb handles one incoming pack; finish runs once the data
+			// stream has drained, before the streams close. The flat
+			// pipeline posts the pack on the shared blackboard (real
+			// bytes) and charges the modeled analysis time; tree mode
+			// swaps in the leaf endpoint, which folds packs into partial
+			// profiles locally and ships compacted deltas up the tree.
+			absorb := func(blk *vmpi.Block) bool {
+				stats.RootIngestBytes += blk.Size
+				stats.RootPosts++
+				disp.PostRaw(blk.Payload)
+				r.Compute(analysisCost(blk.Size))
+				return true
+			}
+			finish := func() bool { return true }
+			if tree != nil {
+				lf := tree.newLeaf(r, sess)
+				if lf == nil {
+					return
+				}
+				absorb, finish = lf.absorb, lf.finish
 			}
 			// With telemetry on, analyzer rank 0 additionally reads the
 			// meta-event channel written by the sampler.
@@ -232,11 +403,12 @@ func ProfileRun(p Platform, workloads []*nas.Workload, opts ProfileOptions) (*re
 					if blk == nil {
 						break
 					}
-					// Post the pack on the shared blackboard (real bytes)
-					// and charge the modeled analysis time in the
-					// simulation.
-					disp.PostRaw(blk.Payload)
-					r.Compute(analysisCost(blk.Size))
+					if !absorb(blk) {
+						return
+					}
+				}
+				if !finish() {
+					return
 				}
 				st.Close()
 				return
@@ -251,8 +423,9 @@ func ProfileRun(p Platform, workloads []*nas.Workload, opts ProfileOptions) (*re
 					blk, err := st.Read(true)
 					switch {
 					case err == nil && blk != nil:
-						disp.PostRaw(blk.Payload)
-						r.Compute(analysisCost(blk.Size))
+						if !absorb(blk) {
+							return
+						}
 						progress = true
 					case err == nil:
 						dataOpen = false
@@ -280,15 +453,43 @@ func ProfileRun(p Platform, workloads []*nas.Workload, opts ProfileOptions) (*re
 					r.WaitArrival(seq, "analyzer read (data+telemetry)")
 				}
 			}
+			if !finish() {
+				return
+			}
 			st.Close()
 			telSt.Close()
 		},
 	})
+	if tree != nil {
+		programs = append(programs, mpi.Program{
+			Name: "Aggregator", Cmdline: "./aggregator", Procs: plan.Ranks(),
+			Main: func(r *mpi.Rank) {
+				tree.aggregatorMain(r, layout.Init(r))
+			},
+		})
+	}
 
+	// The network and filesystem model is pinned to the application plus
+	// analyzer core count even in tree mode: the aggregator partition is
+	// an analysis-side topology change, and keeping the platform model
+	// fixed is what makes flat and tree profiles directly comparable.
 	world := mpi.NewWorld(p.MPIConfig(appProcs+analyzers), programs...)
 	layout = vmpi.NewLayout(world)
 	if opts.Telemetry {
 		world.AttachTelemetry(reg)
+	}
+	if tree != nil {
+		if err := tree.bind(layout); err != nil {
+			return nil, nil, err
+		}
+		for _, f := range opts.AggregatorFaults {
+			at := des.DurationToTime(f.At)
+			if min := des.DurationToTime(time.Millisecond); at < min {
+				// The partition mapping handshake is not fault-aware.
+				at = min
+			}
+			world.FailRank(at, tree.aggGlobals[f.Local])
+		}
 	}
 
 	// Register one pipeline per application level before the run.
@@ -301,30 +502,30 @@ func ProfileRun(p Platform, workloads []*nas.Workload, opts ProfileOptions) (*re
 	for i, w := range workloads {
 		part := layout.DescByName(w.Name)
 		if part == nil {
-			return nil, fmt.Errorf("exp: partition %q missing", w.Name)
+			return nil, nil, fmt.Errorf("exp: partition %q missing", w.Name)
 		}
 		pipes[i], err = disp.AddApp(uint32(part.ID), w.Name, w.Procs)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		// Decode-side codec accounting (nil-safe when telemetry is off).
 		pipes[i].SetCodecTelemetry(codecMetrics.Shard(i))
 		if opts.WaitState {
 			waits[i], err = pipes[i].EnableWaitState()
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 		if opts.TemporalWindowNs > 0 {
 			temporals[i], err = pipes[i].EnableTemporal(opts.TemporalWindowNs)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 		if opts.Callsites {
 			callsites[i], err = pipes[i].EnableCallsites()
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			for ctx, label := range nas.ContextLabels() {
 				callsites[i].Label(ctx, label)
@@ -333,22 +534,54 @@ func ProfileRun(p Platform, workloads []*nas.Workload, opts ProfileOptions) (*re
 		if opts.Export != nil {
 			exports[i], err = pipes[i].EnableExport("proxy", opts.ExportFilter)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 		if opts.Sizes {
 			sizes[i], err = pipes[i].EnableSizes()
 			if err != nil {
-				return nil, err
+				return nil, nil, err
+			}
+		}
+		if tree != nil {
+			// Leaves build partials with exactly the root pipeline's
+			// module selection, so everything shipped up the tree has a
+			// home to be absorbed into.
+			tree.leafOpts[part.ID] = pipes[i].PartialOptions()
+		}
+	}
+	var reducers []*blackboard.Reducer
+	if tree != nil {
+		reducers = make([]*blackboard.Reducer, len(workloads))
+		for i, w := range workloads {
+			reducers[i], err = blackboard.NewReducer(bb, "treefold@"+w.Name,
+				blackboard.TypeID(w.Name, analysis.TypePartial), mergePartialEntries)
+			if err != nil {
+				return nil, nil, err
 			}
 		}
 	}
 
 	if err := world.Run(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if runErr != nil {
-		return nil, runErr
+		return nil, nil, runErr
+	}
+
+	if tree != nil {
+		// The root posted encoded partials; let the unpacker and the
+		// per-application fold reducers settle, then absorb each
+		// application's single surviving partial into its pipeline —
+		// after this the report path below is identical to flat mode.
+		bb.Drain()
+		for i := range workloads {
+			if e := reducers[i].Take(); e != nil {
+				pipes[i].AbsorbPartial(e.Payload.(*analysis.Partial))
+				e.Release()
+			}
+			stats.ReducerMerges += reducers[i].Merges()
+		}
 	}
 
 	// Streams are closed: mark every level complete and let the board
@@ -373,6 +606,13 @@ func ProfileRun(p Platform, workloads []*nas.Workload, opts ProfileOptions) (*re
 		}
 	}
 
+	for i := range workloads {
+		if s := world.ProgramFinish(i).Seconds(); s > stats.AppSeconds {
+			stats.AppSeconds = s
+		}
+		stats.AnalyzedEvents += pipes[i].Profiler.Events()
+	}
+
 	rep := &report.Report{
 		Title:        fmt.Sprintf("online profiling report (%s)", p.Name),
 		EngineHealth: health,
@@ -391,5 +631,5 @@ func ProfileRun(p Platform, workloads []*nas.Workload, opts ProfileOptions) (*re
 			Sizes:     sizes[i],
 		})
 	}
-	return rep, nil
+	return rep, stats, nil
 }

@@ -1,0 +1,370 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/blackboard"
+	"repro/internal/mpi"
+	"repro/internal/tbon"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+	"repro/internal/vmpi"
+)
+
+// treeBlockBytes is the block size of the tree's partial-profile streams.
+// Encoded partials are statistics tables, not event flows: even with
+// every module enabled they sit far below this bound, and a partial that
+// does exceed it fails the Write loudly instead of truncating.
+const treeBlockBytes = 8 << 20
+
+// treeCtx carries the reduction-tree wiring shared by the leaf, interior
+// aggregator and root rank mains of one profiling run. Rank mains run
+// one at a time on the simulator, so the plain stats updates below are
+// safe.
+type treeCtx struct {
+	plan       *tbon.Plan
+	flushEvery int
+	apps       int
+	leafOpts   []analysis.PartialOptions // indexed by application partition id
+	disp       *analysis.Dispatcher
+	tm         *telemetry.TreeMetrics // nil-safe when telemetry is off
+	fail       func(error)
+	stats      *RunStats
+
+	// Filled by bind once the layout exists (before world.Run).
+	leafGlobals []int
+	aggGlobals  []int
+	// primary maps a child's universe rank to its primary parent's
+	// universe rank; a block arriving anywhere else traveled a failover
+	// (reparenting) path.
+	primary map[int]int
+}
+
+// bind resolves the plan's partition-local addressing against the
+// concrete layout.
+func (tc *treeCtx) bind(layout *vmpi.Layout) error {
+	an := layout.DescByName("Analyzer")
+	ag := layout.DescByName("Aggregator")
+	if an == nil || ag == nil {
+		return fmt.Errorf("exp: tree partitions missing from layout")
+	}
+	tc.leafGlobals = an.Globals
+	tc.aggGlobals = ag.Globals
+	tc.primary = make(map[int]int, len(tc.leafGlobals)+len(tc.aggGlobals))
+	for i, g := range tc.leafGlobals {
+		tc.primary[g] = tc.aggGlobals[tc.plan.LeafParent(i)]
+	}
+	for l, g := range tc.aggGlobals {
+		if p := tc.plan.Parent(l); p >= 0 {
+			tc.primary[g] = tc.aggGlobals[p]
+		}
+	}
+	return nil
+}
+
+// writersInto returns every rank that may write into tier t: all leaves
+// for tier 0, the whole tier below otherwise. Read streams span the full
+// level (not just the assigned children) because failover can reroute
+// any child to any node of its upstream tier.
+func (tc *treeCtx) writersInto(t int) []int {
+	if t == 0 {
+		return tc.leafGlobals
+	}
+	out := make([]int, tc.plan.Sizes[t-1])
+	for j := range out {
+		out[j] = tc.aggGlobals[tc.plan.Local(t-1, j)]
+	}
+	return out
+}
+
+func (tc *treeCtx) addUp(st vmpi.StreamStats) {
+	tc.stats.UpFailovers += st.Failovers
+	tc.stats.UpQuarantines += st.Quarantines
+	tc.stats.UpDropped += st.BlocksDropped
+}
+
+// openUpstream builds a tier-entry write stream over the given
+// failover-ordered peer locals: BalanceNone keeps traffic on the primary
+// parent while it is healthy, and the write deadline bounds how long a
+// dead parent can stall the writer before traffic fails over.
+func (tc *treeCtx) openUpstream(sess *vmpi.Session, channel int, order []int) *vmpi.Stream {
+	up := vmpi.NewStream(sess, treeBlockBytes, vmpi.BalanceNone)
+	up.SetChannel(channel)
+	up.SetWriteDeadline(DefaultWriteDeadline)
+	peers := make([]int, len(order))
+	for i, l := range order {
+		peers[i] = tc.aggGlobals[l]
+	}
+	if err := up.OpenRanks(peers, "w"); err != nil {
+		tc.fail(err)
+		return nil
+	}
+	return up
+}
+
+// treeLeaf is the analyzer-side tree endpoint: instead of posting raw
+// packs on the root blackboard, a leaf decodes each pack into
+// per-application partial profiles and ships compacted deltas up the
+// tree — the change that takes the root's ingest volume from O(events)
+// to O(profile size).
+type treeLeaf struct {
+	tc    *treeCtx
+	r     *mpi.Rank
+	up    *vmpi.Stream
+	parts []*analysis.Partial // indexed by application partition id
+	packs int
+}
+
+func (tc *treeCtx) newLeaf(r *mpi.Rank, sess *vmpi.Session) *treeLeaf {
+	up := tc.openUpstream(sess, tbon.Channel(0), tc.plan.LeafUpstreamOrder(sess.LocalRank()))
+	if up == nil {
+		return nil
+	}
+	return &treeLeaf{tc: tc, r: r, up: up, parts: make([]*analysis.Partial, tc.apps)}
+}
+
+// flush encodes and ships every application's accumulated delta. Settled
+// statistics reset on each flush; pending wait-state queues travel only
+// on the final flush, so send/recv pairing stays positionally exact.
+func (lf *treeLeaf) flush(final bool) bool {
+	for _, pp := range lf.parts {
+		if pp == nil {
+			continue
+		}
+		buf := pp.Flush(vmpi.GetBlock(treeBlockBytes)[:0], final)
+		if err := lf.up.Write(buf, int64(len(buf))); err != nil {
+			lf.tc.fail(fmt.Errorf("exp: leaf partial upstream: %w", err))
+			return false
+		}
+	}
+	return true
+}
+
+// absorb folds one incoming pack into the leaf's partials and charges
+// the modeled analysis time.
+func (lf *treeLeaf) absorb(blk *vmpi.Block) bool {
+	h, err := trace.PeekHeader(blk.Payload)
+	if err != nil {
+		lf.tc.fail(fmt.Errorf("exp: leaf pack header: %w", err))
+		return false
+	}
+	if int(h.AppID) >= len(lf.parts) {
+		lf.tc.fail(fmt.Errorf("exp: pack for unknown app id %d", h.AppID))
+		return false
+	}
+	pp := lf.parts[h.AppID]
+	if pp == nil {
+		pp = analysis.NewPartial(h.AppID, lf.tc.leafOpts[h.AppID])
+		lf.parts[h.AppID] = pp
+	}
+	var pr trace.PackReader
+	if err := pr.Init(blk.Payload); err != nil {
+		lf.tc.fail(fmt.Errorf("exp: leaf pack decode: %w", err))
+		return false
+	}
+	for pr.Next() {
+		pp.AddEvent(pr.Event())
+	}
+	if err := pr.Err(); err != nil {
+		lf.tc.fail(fmt.Errorf("exp: leaf pack decode: %w", err))
+		return false
+	}
+	lf.r.Compute(analysisCost(blk.Size))
+	blk.Release()
+	lf.packs++
+	if lf.tc.flushEvery > 0 && lf.packs%lf.tc.flushEvery == 0 {
+		return lf.flush(false)
+	}
+	return true
+}
+
+// finish ships the final deltas (pendings included) and closes the
+// upstream, then folds the endpoint's failure counters into the run
+// stats.
+func (lf *treeLeaf) finish() bool {
+	if !lf.flush(true) {
+		return false
+	}
+	if err := lf.up.Close(); err != nil {
+		lf.tc.fail(err)
+		return false
+	}
+	lf.tc.addUp(lf.up.Stats())
+	return true
+}
+
+// aggregatorMain is the Main of every aggregator-partition rank: the
+// root feeds the blackboard, every other rank merges its tier's incoming
+// partials and forwards compacted results one tier up.
+func (tc *treeCtx) aggregatorMain(r *mpi.Rank, sess *vmpi.Session) {
+	local := sess.LocalRank()
+	tm := tc.tm.Shard(sess.Rank().Global())
+	if local == tc.plan.Root() {
+		tc.rootMain(r, sess, tm)
+		return
+	}
+	tier := tc.plan.TierOf(local)
+	myGlobal := sess.Rank().Global()
+	rd := vmpi.NewStream(sess, treeBlockBytes, vmpi.BalanceRoundRobin)
+	rd.SetChannel(tbon.Channel(tier))
+	if err := rd.OpenRanks(tc.writersInto(tier), "r"); err != nil {
+		tc.fail(err)
+		return
+	}
+	up := tc.openUpstream(sess, tbon.Channel(tier+1), tc.plan.UpstreamOrder(local))
+	if up == nil {
+		return
+	}
+	acc := make([]*analysis.Partial, tc.apps)
+	pending := 0
+	forward := func(final bool) bool {
+		for _, pp := range acc {
+			if pp == nil {
+				continue
+			}
+			buf := pp.Flush(vmpi.GetBlock(treeBlockBytes)[:0], final)
+			if err := up.Write(buf, int64(len(buf))); err != nil {
+				tc.fail(fmt.Errorf("exp: aggregator %d forward: %w", local, err))
+				return false
+			}
+			tm.OnForward(int64(len(buf)))
+		}
+		return true
+	}
+	blocks := 0
+	for {
+		blk, err := rd.Read(false)
+		if err != nil {
+			tc.fail(err)
+			return
+		}
+		if blk == nil {
+			break
+		}
+		t0 := time.Now()
+		pp, err := analysis.DecodePartial(blk.Payload)
+		if err != nil {
+			tc.fail(fmt.Errorf("exp: aggregator %d: %w", local, err))
+			return
+		}
+		if int(pp.AppID) >= len(acc) {
+			tc.fail(fmt.Errorf("exp: aggregator %d: partial for unknown app id %d", local, pp.AppID))
+			return
+		}
+		if acc[pp.AppID] == nil {
+			acc[pp.AppID] = pp
+			pending++
+		} else if err := acc[pp.AppID].Merge(pp); err != nil {
+			tc.fail(fmt.Errorf("exp: aggregator %d: %w", local, err))
+			return
+		}
+		tm.OnMerge(time.Since(t0).Nanoseconds())
+		tm.OnIngest(tier, blk.Size)
+		tm.PendingPartials(pending)
+		if tc.primary[blk.From] != myGlobal {
+			tm.OnReparent()
+			tc.stats.Reparented++
+		}
+		tc.stats.TierIngestBytes[tier] += blk.Size
+		r.Compute(analysisCost(blk.Size))
+		blk.Release()
+		blocks++
+		if tc.flushEvery > 0 && blocks%tc.flushEvery == 0 {
+			if !forward(false) {
+				return
+			}
+		}
+	}
+	if !forward(true) {
+		return
+	}
+	if err := up.Close(); err != nil {
+		tc.fail(err)
+		return
+	}
+	tc.addUp(up.Stats())
+	if err := rd.Close(); err != nil {
+		tc.fail(err)
+	}
+}
+
+// rootMain drains every tier-entry channel into the blackboard. The root
+// reads its own tier's channel for the regular flow plus every lower
+// channel as the last-resort failover target each writer lists, so a
+// child whose whole upstream tier died still delivers.
+func (tc *treeCtx) rootMain(r *mpi.Rank, sess *vmpi.Session, tm *telemetry.TreeMetrics) {
+	myGlobal := sess.Rank().Global()
+	tiers := tc.plan.Tiers()
+	streams := make([]*vmpi.Stream, tiers)
+	open := make([]bool, tiers)
+	for c := 0; c < tiers; c++ {
+		s := vmpi.NewStream(sess, treeBlockBytes, vmpi.BalanceRoundRobin)
+		s.SetChannel(tbon.Channel(c))
+		if err := s.OpenRanks(tc.writersInto(c), "r"); err != nil {
+			tc.fail(err)
+			return
+		}
+		streams[c] = s
+		open[c] = true
+	}
+	nOpen := tiers
+	for nOpen > 0 {
+		seq := r.ArrivalSeq()
+		progress := false
+		for c, s := range streams {
+			if !open[c] {
+				continue
+			}
+			blk, err := s.Read(true)
+			switch {
+			case err == nil && blk != nil:
+				tm.OnIngest(c, blk.Size)
+				if tc.primary[blk.From] != myGlobal {
+					tm.OnReparent()
+					tc.stats.Reparented++
+				}
+				tc.stats.RootIngestBytes += blk.Size
+				tc.stats.RootPosts++
+				tc.stats.TierIngestBytes[c] += blk.Size
+				// The board owns the payload from here (the partial
+				// unpacker decodes it asynchronously): no Release.
+				tc.disp.PostRawPartial(blk.Payload)
+				r.Compute(analysisCost(blk.Size))
+				progress = true
+			case err == nil:
+				open[c] = false
+				nOpen--
+				progress = true
+			case err != vmpi.ErrAgain:
+				tc.fail(err)
+				return
+			}
+		}
+		if !progress {
+			r.WaitArrival(seq, "tree root read")
+		}
+	}
+	for _, s := range streams {
+		if err := s.Close(); err != nil {
+			tc.fail(err)
+			return
+		}
+	}
+}
+
+// mergePartialEntries is the tree-fold combine on the root blackboard:
+// it folds entry b's partial into a's and keeps a as the survivor (the
+// Reducer's retain-if-input convention handles the reference counts).
+// Partial merges only fail on application or option mismatches, which
+// are wiring bugs — loud, like the dispatcher's decode failures.
+func mergePartialEntries(a, b *blackboard.Entry) *blackboard.Entry {
+	pa := a.Payload.(*analysis.Partial)
+	pb := b.Payload.(*analysis.Partial)
+	if err := pa.Merge(pb); err != nil {
+		panic(fmt.Sprintf("exp: tree partial fold: %v", err))
+	}
+	a.Size += b.Size
+	return a
+}

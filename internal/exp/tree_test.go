@@ -1,0 +1,255 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/nas"
+)
+
+// treeTestOpts is the deterministic e2e configuration: every analysis
+// module on, a single blackboard worker so fold order is fixed, and
+// small packs so plenty of blocks travel the tree.
+func treeTestOpts() ProfileOptions {
+	return ProfileOptions{
+		Analyzers:        4,
+		Workers:          1,
+		PackBytes:        1 << 14,
+		WaitState:        true,
+		TemporalWindowNs: 1e7,
+		Callsites:        true,
+		Sizes:            true,
+	}
+}
+
+func treeTestWorkloads(t *testing.T) []*nas.Workload {
+	t.Helper()
+	lu, err := nas.LU(nas.ClassC, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := nas.CG(nas.ClassC, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*nas.Workload{lu, cg}
+}
+
+// TestTreeProfileMatchesFlat is the deterministic end-to-end harness:
+// the same two applications are profiled through the flat pipeline and
+// through one- and two-tier reduction trees, in both pack wire formats,
+// and within each wire format every topology must produce byte-identical
+// analysis content (the masked-report fingerprint). The flat run is each
+// format's golden reference — the transport topology may not change the
+// profile. (The two wire formats legitimately differ from each other:
+// pack boundaries fall differently, so the instrument's modeled
+// perturbation of the application differs slightly.)
+func TestTreeProfileMatchesFlat(t *testing.T) {
+	p := Tera100()
+	ws := treeTestWorkloads(t)
+
+	type tc struct {
+		name   string
+		levels int
+		packV2 bool
+	}
+	cases := []tc{
+		{"flat-v1", 1, false},
+		{"flat-v2", 1, true},
+		{"tree-L2-v1", 2, false}, // one tier: the root is the only aggregator
+		{"tree-L2-v2", 2, true},
+		{"tree-L3-v1", 3, false}, // two tiers: interior aggregators + root
+		{"tree-L3-v2", 3, true},
+	}
+	golden := map[bool]string{}
+	goldenEvents := map[bool]int64{}
+	flatIngest := map[bool]int64{}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			opts := treeTestOpts()
+			opts.PackV2 = c.packV2
+			opts.TreeLevels = c.levels
+			opts.TreeFanin = 2
+			opts.TreeFlushPacks = 4
+			rep, stats, err := ProfileRunStats(p, ws, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fp, err := ProfileFingerprint(rep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if golden[c.packV2] == "" {
+				golden[c.packV2] = fp
+				goldenEvents[c.packV2] = stats.AnalyzedEvents
+				flatIngest[c.packV2] = stats.RootIngestBytes
+			}
+			if fp != golden[c.packV2] {
+				t.Errorf("%s fingerprint %s != golden %s: profile content diverged", c.name, fp[:12], golden[c.packV2][:12])
+			}
+			if stats.AnalyzedEvents != goldenEvents[c.packV2] {
+				t.Errorf("analyzed events = %d, golden %d", stats.AnalyzedEvents, goldenEvents[c.packV2])
+			}
+			if stats.AnalyzedEvents == 0 {
+				t.Fatal("no events analyzed")
+			}
+			if c.levels <= 1 {
+				if stats.TreeTiers != 0 || stats.TreeRanks != 0 {
+					t.Fatalf("flat run reports a tree: %+v", stats)
+				}
+				return
+			}
+			// Tree shape and tree-only accounting.
+			if stats.TreeTiers != c.levels-1 {
+				t.Fatalf("tiers = %d, want %d", stats.TreeTiers, c.levels-1)
+			}
+			if stats.RootPosts == 0 || stats.RootIngestBytes == 0 {
+				t.Fatal("root saw no partials")
+			}
+			// Ingest reduction at this toy scale only holds for the fixed
+			// 256-byte v1 records; v2's delta+varint packs are already tiny
+			// here, and the per-flush partial tables dominate. The bench
+			// (BENCH_PR5.json) measures the reduction at realistic volume.
+			if !c.packV2 && stats.RootIngestBytes >= flatIngest[c.packV2] {
+				t.Fatalf("tree root ingest %d >= flat %d: no reduction", stats.RootIngestBytes, flatIngest[c.packV2])
+			}
+			if stats.TierIngestBytes[0] == 0 {
+				t.Fatal("tier 0 saw no bytes")
+			}
+			// Every application's reducer folded the per-leaf partials.
+			if stats.ReducerMerges == 0 {
+				t.Fatal("no blackboard partial folds")
+			}
+			// A healthy run loses nothing.
+			if stats.UpDropped != 0 {
+				t.Fatalf("healthy run dropped %d blocks", stats.UpDropped)
+			}
+			// The report still renders fully.
+			var buf bytes.Buffer
+			if err := rep.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+			for _, want := range []string{"chapter 1: LU.C", "chapter 2: CG.C", "Wait-state analysis", "Top call sites"} {
+				if !strings.Contains(buf.String(), want) {
+					t.Fatalf("tree report missing %q", want)
+				}
+			}
+		})
+	}
+}
+
+// TestTreeScalingSweep runs the sweep helper at test scale and checks
+// the baseline-relative accounting it feeds BENCH_PR5.json.
+func TestTreeScalingSweep(t *testing.T) {
+	p := Tera100()
+	ws := treeTestWorkloads(t)
+	pts, err := TreeScalingSweep(p, ws, treeTestOpts(), []TreeConfig{
+		{Levels: 2, Fanin: 4, FlushPacks: 4},
+		{Levels: 3, Fanin: 2, FlushPacks: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	flat := pts[0]
+	if flat.Config.Levels != 1 || !flat.MatchesFlat || flat.IngestReductionPct != 0 {
+		t.Fatalf("bad flat baseline: %+v", flat)
+	}
+	for _, pt := range pts[1:] {
+		if !pt.MatchesFlat {
+			t.Errorf("%s profile diverged from flat", pt.Config)
+		}
+		if pt.IngestReductionPct <= 0 {
+			t.Errorf("%s ingest reduction %.1f%% <= 0", pt.Config, pt.IngestReductionPct)
+		}
+		if pt.AnalyzedEvents != flat.AnalyzedEvents {
+			t.Errorf("%s events %d != flat %d", pt.Config, pt.AnalyzedEvents, flat.AnalyzedEvents)
+		}
+		if pt.TreeRanks == 0 || pt.ReducerMerges == 0 {
+			t.Errorf("%s missing tree accounting: %+v", pt.Config, pt)
+		}
+	}
+}
+
+// TestTreeAggregatorKill fail-stops an interior aggregator halfway
+// through the run and requires the degraded mode of PR 1 to carry the
+// tree: the run completes, a full report is produced, the children
+// repopulate onto surviving parents, and the data loss is bounded and
+// visible in the counters.
+func TestTreeAggregatorKill(t *testing.T) {
+	p := Tera100()
+	ws := treeTestWorkloads(t)
+	opts := treeTestOpts()
+	// Ship deltas on every pack so partial traffic is in flight when the
+	// aggregator dies (with flushing only at end-of-stream the crash
+	// would be invisible).
+	cfg := TreeConfig{Levels: 3, Fanin: 2, FlushPacks: 1}
+	pt, err := TreeFaultRun(p, ws, opts, cfg, 0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pt.ReportProduced {
+		t.Fatal("faulty run produced no report")
+	}
+	if pt.KilledLocal != 0 || pt.KillAt < time.Millisecond {
+		t.Fatalf("kill metadata wrong: %+v", pt)
+	}
+	// Bounded loss: the dead endpoint can swallow at most its in-flight
+	// credit window per writer, so completeness stays high — and can
+	// never exceed the healthy run.
+	if pt.CompletenessPct < 50 || pt.CompletenessPct > 100 {
+		t.Fatalf("completeness %.1f%% outside (50, 100]", pt.CompletenessPct)
+	}
+	// The writers must have noticed the death and rerouted: quarantines
+	// on the dead endpoint, failovers onto the ring sibling or root, and
+	// reparented blocks observed at the surviving parents.
+	if pt.UpQuarantines == 0 {
+		t.Fatalf("no quarantines after aggregator kill: %+v", pt)
+	}
+	if pt.UpFailovers == 0 && pt.Reparented == 0 {
+		t.Fatalf("no failover traffic after aggregator kill: %+v", pt)
+	}
+}
+
+// TestTreeOptionValidation pins the option cross-checks: trace export
+// needs the raw event flow, aggregator faults need a tree, and the tree
+// root cannot be killed.
+func TestTreeOptionValidation(t *testing.T) {
+	p := Tera100()
+	ws := treeTestWorkloads(t)[:1]
+	cases := []struct {
+		name string
+		opts ProfileOptions
+		want string
+	}{
+		{"export-with-tree",
+			ProfileOptions{TreeLevels: 2, Export: func(string, *analysis.ExportModule) {}},
+			"trace export"},
+		{"fault-without-tree",
+			ProfileOptions{AggregatorFaults: []AggregatorFault{{Local: 0}}},
+			"need a reduction tree"},
+		{"kill-root",
+			ProfileOptions{TreeLevels: 2, TreeFanin: 4, Analyzers: 4,
+				AggregatorFaults: []AggregatorFault{{Local: 0}}},
+			"cannot kill the tree root"},
+		{"fault-out-of-range",
+			ProfileOptions{TreeLevels: 3, TreeFanin: 2, Analyzers: 4,
+				AggregatorFaults: []AggregatorFault{{Local: 99}}},
+			"outside partition"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			_, _, err := ProfileRunStats(p, ws, c.opts)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want %q", err, c.want)
+			}
+		})
+	}
+}

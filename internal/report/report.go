@@ -379,7 +379,13 @@ func (ch *Chapter) render(w io.Writer) error {
 	fmt.Fprintf(w, "  %-14s %12s %14s %14s\n", "call", "hits", "time", "total size")
 	kinds := ch.Profiler.Kinds()
 	sort.Slice(kinds, func(i, j int) bool {
-		return ch.Profiler.Stat(kinds[i]).TimeNs > ch.Profiler.Stat(kinds[j]).TimeNs
+		ti, tj := ch.Profiler.Stat(kinds[i]).TimeNs, ch.Profiler.Stat(kinds[j]).TimeNs
+		if ti != tj {
+			return ti > tj
+		}
+		// Ties (typically zero-time calls) break by name so the table does
+		// not depend on the order events reached the profiler.
+		return kinds[i] < kinds[j]
 	})
 	for _, k := range kinds {
 		st := ch.Profiler.Stat(k)

@@ -243,3 +243,36 @@ func TestStatsNotBlockedByRunningJob(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTreeJob submits a job through the service with a reduction tree in
+// the options: the MPMD launch (aggregator partition included) is wired
+// entirely through Job.Options, and the report must come out with both
+// chapters populated.
+func TestTreeJob(t *testing.T) {
+	lu, err := nas.LU(nas.ClassC, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := nas.CG(nas.ClassC, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(exp.Tera100())
+	res, err := s.Submit(Job{Workloads: []*nas.Workload{lu, cg}, Options: exp.ProfileOptions{
+		Analyzers: 4, Workers: 2, TreeLevels: 3, TreeFanin: 2, TreeFlushPacks: 4,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Report.Chapters) != 2 {
+		t.Fatalf("chapters = %d", len(res.Report.Chapters))
+	}
+	if res.Events == 0 || res.AppSeconds <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	for _, ch := range res.Report.Chapters {
+		if ch.Profiler.Events() == 0 {
+			t.Fatalf("chapter %s empty", ch.App)
+		}
+	}
+}

@@ -13,6 +13,14 @@
 // bandwidth. The BenchmarkTBONVsStreams ablation quantifies exactly that
 // trade-off on this implementation.
 //
+// Two tree embeddings live here. Node is the classic single-communicator
+// k-ary tree used by the ablation. Plan is the layout used by the online
+// engine's multi-level analysis partition (exp.ProfileRun with
+// TreeLevels >= 2): leaf analyzers reduce event packs to partial
+// profiles and stream them through tiered aggregator ranks to a single
+// root, one vmpi stream channel per tier, with failover orderings that
+// reparent a dead aggregator's children to a sibling or the root.
+//
 // The tree spans one communicator, rooted at rank 0, with parent(i) =
 // (i-1)/fanout — the classic array-embedded k-ary tree. All operations are
 // collective over the communicator (every member must call them in the

@@ -1,5 +1,7 @@
 package telemetry
 
+import "fmt"
+
 // Component bundles: one struct per instrumented layer, resolving its
 // instrument names once at construction so hot paths touch only nil-safe
 // pointers. Every constructor accepts a nil registry and returns nil; every
@@ -356,6 +358,106 @@ func (m *BoardMetrics) KSLatency(name string) *Histogram {
 		return nil
 	}
 	return m.reg.Histogram("bb.ks_latency."+name, LatencyBounds)
+}
+
+// TreeMetrics instruments the multi-level reduction tree: per-tier
+// ingest volume, partial-profile merge counts and latency, forwarded
+// bytes, and the aggregator's pending-partial queue depth. The names
+// land in the registry like every other bundle, so the engine-health
+// chapter picks the tree up automatically.
+type TreeMetrics struct {
+	shard        int
+	ingestBlocks []*Counter
+	ingestBytes  []*Counter
+	partialsIn   *Counter
+	partialsOut  *Counter
+	fwdBytes     *Counter
+	merges       *Counter
+	mergeNs      *Histogram
+	pending      *Gauge
+	reparented   *Counter
+}
+
+// NewTreeMetrics registers the reduction-tree instrument set on reg for
+// a tree of the given tier count (per-tier ingest instruments are
+// indexed by the tier a block arrives *into*).
+func NewTreeMetrics(reg *Registry, tiers int) *TreeMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &TreeMetrics{
+		partialsIn:  reg.Counter("tbon.partials_in"),
+		partialsOut: reg.Counter("tbon.partials_out"),
+		fwdBytes:    reg.Counter("tbon.forward_bytes"),
+		merges:      reg.Counter("tbon.merges"),
+		mergeNs:     reg.Histogram("tbon.merge_ns", LatencyBounds),
+		pending:     reg.Gauge("tbon.pending_partials"),
+		reparented:  reg.Counter("tbon.reparented_blocks"),
+	}
+	for t := 0; t < tiers; t++ {
+		suffix := fmt.Sprintf(".t%d", t)
+		m.ingestBlocks = append(m.ingestBlocks, reg.Counter("tbon.ingest_blocks"+suffix))
+		m.ingestBytes = append(m.ingestBytes, reg.Counter("tbon.ingest_bytes"+suffix))
+	}
+	return m
+}
+
+// Shard returns a copy whose counter writes land on the shard derived
+// from id (e.g. the aggregator's local rank). The underlying
+// instruments are shared.
+func (m *TreeMetrics) Shard(id int) *TreeMetrics {
+	if m == nil {
+		return nil
+	}
+	c := *m
+	c.shard = id
+	return &c
+}
+
+// OnIngest records one encoded partial of size bytes arriving into tier.
+func (m *TreeMetrics) OnIngest(tier int, size int64) {
+	if m == nil || tier < 0 || tier >= len(m.ingestBytes) {
+		return
+	}
+	m.ingestBlocks[tier].AddShard(m.shard, 1)
+	m.ingestBytes[tier].AddShard(m.shard, size)
+	m.partialsIn.AddShard(m.shard, 1)
+}
+
+// OnMerge records one partial-profile merge taking ns wall-clock
+// nanoseconds.
+func (m *TreeMetrics) OnMerge(ns int64) {
+	if m == nil {
+		return
+	}
+	m.merges.AddShard(m.shard, 1)
+	m.mergeNs.Observe(ns)
+}
+
+// OnForward records one merged partial of size bytes forwarded upward.
+func (m *TreeMetrics) OnForward(size int64) {
+	if m == nil {
+		return
+	}
+	m.partialsOut.AddShard(m.shard, 1)
+	m.fwdBytes.AddShard(m.shard, size)
+}
+
+// OnReparent records one block that arrived over a failover endpoint
+// (i.e. from a child whose primary parent died).
+func (m *TreeMetrics) OnReparent() {
+	if m == nil {
+		return
+	}
+	m.reparented.AddShard(m.shard, 1)
+}
+
+// PendingPartials records an aggregator's per-app accumulator count.
+func (m *TreeMetrics) PendingPartials(n int) {
+	if m == nil {
+		return
+	}
+	m.pending.Set(int64(n))
 }
 
 // ServiceMetrics instruments the profiling service front-end.

@@ -19,6 +19,13 @@ const (
 	// MapFixed assigns contiguous blocks of slave ranks to each master
 	// rank.
 	MapFixed
+	// MapTree assigns fan-in blocks of ceil(slaveSize/masterSize)
+	// consecutive slave ranks to each master rank, folding the remainder
+	// into the last master — the leaf-to-aggregator assignment of a
+	// reduction tree (tbon.Plan.LeafParent with the same block shape).
+	// Unlike MapFixed's balanced i*m/s blocks, every non-final master
+	// gets exactly the tree's nominal fan-in.
+	MapTree
 )
 
 // MapFunc is a user-defined mapping: given a slave's local rank and both
@@ -33,6 +40,14 @@ func policyFunc(p Policy) MapFunc {
 		return func(i, _, m int) int { return i % m }
 	case MapFixed:
 		return func(i, s, m int) int { return i * m / s }
+	case MapTree:
+		return func(i, s, m int) int {
+			f := (s + m - 1) / m
+			if t := i / f; t < m-1 {
+				return t
+			}
+			return m - 1
+		}
 	case MapRandom:
 		return nil // resolved against the simulator RNG at assignment time
 	default:
