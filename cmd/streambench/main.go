@@ -16,6 +16,14 @@
 // topology's root-blackboard ingest volume against the flat baseline:
 //
 //	streambench -tree LU.C@64,CG.C@64 -tree-levels 2,3 -tree-fanin 8
+//
+// With -overload, the command runs the adaptive-engine overload
+// experiment: the named applications are profiled unloaded, then with the
+// analyzer partition throttled to -overload-rate bytes/second — once with
+// the static engine (back-pressure only) and once with the closed-loop
+// controller shedding load under a quantified completeness bound:
+//
+//	streambench -overload LU.A@16 -overload-rate 200k
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/cliutil"
 	"repro/internal/exp"
 	"repro/internal/exp/runner"
@@ -50,6 +59,9 @@ func main() {
 		treeFanin    = flag.Int("tree-fanin", 0, "reduction-tree fan-in for -tree (0 = 8)")
 		treeFlush    = flag.Int("tree-flush", 4, "ship partial-profile deltas every N packs in -tree mode (0 = only at stream end)")
 		treeIters    = flag.Int("tree-iters", 2, "timesteps per -tree application (0 = official counts)")
+		overloadFlag = flag.String("overload", "", "adaptive overload sweep over these applications (NAME.CLASS@PROCS[,...]) instead of the Figure 14 stream sweep")
+		overloadRate = flag.String("overload-rate", "200k", "throttled analyzer ingest rate in bytes/second for -overload")
+		overloadIter = flag.Int("overload-iters", 40, "timesteps per -overload application (0 = official counts)")
 	)
 	flag.Parse()
 
@@ -76,6 +88,10 @@ func main() {
 
 	if *treeFlag != "" {
 		runTreeSweep(platform, *treeFlag, *treeLevels, *treeFanin, *treeFlush, *treeIters, *packv2Flag)
+		return
+	}
+	if *overloadFlag != "" {
+		runOverloadSweep(platform, *overloadFlag, *overloadRate, *overloadIter)
 		return
 	}
 
@@ -195,4 +211,48 @@ func runTreeSweep(platform exp.Platform, apps, levels string, fanin, flush, iter
 	}
 	exp.WriteTreeTable(os.Stdout, points)
 	fmt.Fprintf(os.Stderr, "streambench: %d topologies in %.2fs\n", len(points), time.Since(start).Seconds())
+}
+
+// runOverloadSweep is the -overload mode: the same workloads profiled
+// unloaded, statically overloaded, and adaptively overloaded, with the
+// final adaptive report's loss accounting printed after the table.
+func runOverloadSweep(platform exp.Platform, apps, rate string, iters int) {
+	specs, err := cliutil.ParseApps(apps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	workloads := make([]*nas.Workload, 0, len(specs))
+	for _, spec := range specs {
+		procs := nas.ValidProcs(spec.Kind, spec.Procs)
+		w, err := nas.ByName(spec.Kind, nas.Class(spec.Class), procs, iters)
+		if err != nil {
+			log.Fatal(err)
+		}
+		workloads = append(workloads, w)
+	}
+	slowRate, err := cliutil.ParseBytes(rate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := exp.ProfileOptions{
+		Workers:         2,
+		PackBytes:       8192,
+		TelemetryPeriod: 50 * time.Millisecond,
+		AdaptiveConfig:  adapt.Config{BacklogHighBytes: 64 << 10},
+	}
+	start := time.Now()
+	points, err := exp.OverloadSweep(platform, workloads, base, float64(slowRate))
+	if err != nil {
+		log.Fatal(err)
+	}
+	exp.WriteOverloadTable(os.Stdout, points)
+	adaptive := points[len(points)-1]
+	if rep := adaptive.Report; rep != nil && len(rep.StreamLoss) > 0 {
+		fmt.Println()
+		for _, row := range rep.StreamLoss {
+			fmt.Printf("%s rank %d: %d blocks dropped, %d lost in flight, %d events shed\n",
+				row.App, row.Rank, row.Dropped, row.LostInFlight, row.Shed)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "streambench: overload sweep in %.2fs\n", time.Since(start).Seconds())
 }

@@ -1,0 +1,253 @@
+package adapt
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/blackboard"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+type fakeWindow struct{ reqs []int }
+
+func (f *fakeWindow) RequestWindow(n int) { f.reqs = append(f.reqs, n) }
+
+func snap(stalls, bytesW, bytesR, backlogNs int64) *telemetry.Snapshot {
+	return &telemetry.Snapshot{
+		Metrics: []telemetry.MetricSample{
+			{Name: "stream.write_stalls", Value: stalls},
+			{Name: "stream.bytes_written", Value: bytesW},
+			{Name: "stream.bytes_read", Value: bytesR},
+			{Name: "net.nic_backlog_ns", Max: backlogNs},
+		},
+	}
+}
+
+func newTestController(t *testing.T, cfg Config) *Controller {
+	t.Helper()
+	c, err := NewController(nil, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var cfg Config
+	cfg.defaults()
+	if cfg.StallDelta != 1 || cfg.PanicStalls != 32 || cfg.CalmSnapshots != 2 {
+		t.Fatalf("stall defaults %+v", cfg)
+	}
+	if cfg.BacklogHighNs != int64(50*time.Millisecond) || cfg.BacklogHighBytes != 256<<10 {
+		t.Fatalf("backlog defaults %+v", cfg)
+	}
+	if cfg.BaseWindow != 3 || cfg.MaxWindow != 8 || cfg.MaxLevel != maxLevel {
+		t.Fatalf("window/level defaults %+v", cfg)
+	}
+	over := Config{MaxLevel: 99}
+	over.defaults()
+	if over.MaxLevel != maxLevel {
+		t.Fatalf("MaxLevel not clamped: %d", over.MaxLevel)
+	}
+}
+
+func TestControllerEscalatesOnStalls(t *testing.T) {
+	c := newTestController(t, Config{})
+	g := c.NewGate()
+	w := &fakeWindow{}
+	c.AddStream(w)
+	c.AddStream(nil) // must be ignored
+	if got := w.reqs; len(got) != 1 || got[0] != 3 {
+		t.Fatalf("initial window requests %v, want [3]", got)
+	}
+	if c.PackVersion() != trace.PackV1 || c.Level() != 0 {
+		t.Fatalf("fresh controller at v%d level %d", c.PackVersion(), c.Level())
+	}
+
+	c.Observe(nil)                // ignored
+	c.Observe(snap(100, 0, 0, 0)) // seeds baselines: the absolute count is not a delta
+	if c.Level() != 0 {
+		t.Fatalf("seed snapshot escalated to %d", c.Level())
+	}
+
+	// One new stall per snapshot climbs the ladder a level at a time.
+	for i, want := range []int{1, 2, 3, 4, 4} {
+		c.Observe(snap(int64(101+i), 0, 0, 0))
+		if c.Level() != want {
+			t.Fatalf("snapshot %d: level %d, want %d", i, c.Level(), want)
+		}
+	}
+	if c.MaxLevelSeen() != 4 || c.Escalations() != 4 {
+		t.Fatalf("maxSeen %d escalations %d", c.MaxLevelSeen(), c.Escalations())
+	}
+	if c.PackVersion() != trace.PackV2 {
+		t.Fatal("escalated controller still streaming v1")
+	}
+	if last := w.reqs[len(w.reqs)-1]; last != 8 {
+		t.Fatalf("window under overload %d, want 8", last)
+	}
+	// L4 plan: async classes closed, p2p and POSIX sampled 1-in-64,
+	// collectives and Init/Finalize untouched — they anchor the profile.
+	if iv := g.Interval(trace.KindIsend); iv != -1 {
+		t.Fatalf("async interval %d, want -1", iv)
+	}
+	if iv := g.Interval(trace.KindSend); iv != 64 {
+		t.Fatalf("p2p interval %d, want 64", iv)
+	}
+	if iv := g.Interval(trace.KindPosixWrite); iv != 64 {
+		t.Fatalf("posix interval %d, want 64", iv)
+	}
+	if iv := g.Interval(trace.KindAllreduce); iv != 1 {
+		t.Fatalf("collective interval %d, want 1 (never shed)", iv)
+	}
+	if iv := g.Interval(trace.KindInit); iv != 1 || g.Interval(trace.KindFinalize) != 1 {
+		t.Fatalf("init/finalize sampled (%d)", iv)
+	}
+}
+
+func TestControllerPanicJumpsToMax(t *testing.T) {
+	c := newTestController(t, Config{})
+	c.Observe(snap(0, 0, 0, 0)) // seed
+	c.Observe(snap(32, 0, 0, 0))
+	if c.Level() != 4 {
+		t.Fatalf("stall burst reached level %d, want 4", c.Level())
+	}
+}
+
+func TestControllerBacklogSignals(t *testing.T) {
+	cfg := Config{BacklogHighBytes: 1000}
+	c := newTestController(t, cfg)
+	c.Observe(snap(0, 0, 0, 0)) // seed
+
+	// Byte backlog at the overload line escalates one level.
+	c.Observe(snap(0, 1500, 500, 0))
+	if c.Level() != 1 {
+		t.Fatalf("backlog at line: level %d, want 1", c.Level())
+	}
+	// Twice the line jumps straight to the top.
+	c.Observe(snap(0, 2500, 500, 0))
+	if c.Level() != 4 {
+		t.Fatalf("2x backlog: level %d, want 4", c.Level())
+	}
+	// Hysteresis: backlog below the line but above a quarter of it holds
+	// the level, regardless of how many snapshots pass.
+	for i := 0; i < 10; i++ {
+		c.Observe(snap(0, 1000, 500, 0))
+	}
+	if c.Level() != 4 {
+		t.Fatalf("hysteresis band relaxed to %d", c.Level())
+	}
+	// A drained queue relaxes one level per CalmSnapshots.
+	calmed := func() { c.Observe(snap(0, 1000, 900, 0)) }
+	for level := 3; level >= 0; level-- {
+		calmed()
+		calmed()
+		if c.Level() != level {
+			t.Fatalf("after calm pair: level %d, want %d", c.Level(), level)
+		}
+	}
+	// Fully relaxed: transport knobs restored.
+	if c.PackVersion() != trace.PackV1 || c.FlushEvery() != 0 {
+		t.Fatalf("relaxed controller kept v%d cadence %d", c.PackVersion(), c.FlushEvery())
+	}
+}
+
+func TestControllerNICBacklogEscalates(t *testing.T) {
+	c := newTestController(t, Config{BacklogHighNs: int64(10 * time.Millisecond)})
+	c.Observe(snap(0, 0, 0, 0)) // seed
+	c.Observe(snap(0, 0, 0, int64(20*time.Millisecond)))
+	if c.Level() != 1 {
+		t.Fatalf("NIC backlog: level %d, want 1", c.Level())
+	}
+}
+
+func TestControllerFlushCadence(t *testing.T) {
+	c := newTestController(t, Config{BaseFlushPacks: 2})
+	if c.FlushEvery() != 2 {
+		t.Fatalf("base cadence %d, want 2", c.FlushEvery())
+	}
+	c.Observe(snap(0, 0, 0, 0)) // seed
+	c.Observe(snap(1, 0, 0, 0)) // L1: base x4
+	if c.FlushEvery() != 8 {
+		t.Fatalf("L1 cadence %d, want 8", c.FlushEvery())
+	}
+	c.Observe(snap(2, 0, 0, 0)) // L2: base x8
+	if c.FlushEvery() != 16 {
+		t.Fatalf("L2 cadence %d, want 16", c.FlushEvery())
+	}
+}
+
+func TestControllerMaxLevelCap(t *testing.T) {
+	c := newTestController(t, Config{MaxLevel: 2})
+	c.Observe(snap(0, 0, 0, 0))
+	c.Observe(snap(64, 0, 0, 0)) // panic — but capped
+	if c.Level() != 2 {
+		t.Fatalf("capped controller at level %d, want 2", c.Level())
+	}
+}
+
+func TestControllerGatesProgrammedLate(t *testing.T) {
+	// A gate created after escalation starts under the current plan, and
+	// TotalShed aggregates across every gate.
+	c := newTestController(t, Config{})
+	c.Observe(snap(0, 0, 0, 0))
+	c.Observe(snap(32, 0, 0, 0)) // L4
+	g := c.NewGate()
+	if iv := g.Interval(trace.KindIsend); iv != -1 {
+		t.Fatalf("late gate interval %d, want the active plan's -1", iv)
+	}
+	g2 := c.NewGate()
+	g.Admit(trace.KindIsend)
+	g2.Admit(trace.KindIsend)
+	if c.TotalShed() != 2 {
+		t.Fatalf("TotalShed %d, want 2", c.TotalShed())
+	}
+}
+
+// TestControllerThroughBlackboard drives the control loop the way the
+// engine does: snapshots encoded by a real registry, posted as meta
+// entries on a real board, decoded by the controller's knowledge source.
+func TestControllerThroughBlackboard(t *testing.T) {
+	bb := blackboard.New(blackboard.Config{Workers: 2})
+	defer bb.Close()
+
+	reg := telemetry.NewRegistry()
+	stalls := reg.Counter("stream.write_stalls")
+
+	c, err := NewController(bb, Config{}, telemetry.NewControllerMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	metaT := blackboard.TypeID("", "meta")
+	post := func(seq uint64) {
+		buf := reg.EncodeSnapshot(nil, seq, int64(seq)*1e6, 0)
+		bb.Post(metaT, int64(len(buf)), buf)
+		bb.Drain()
+	}
+
+	post(1) // seed
+	if c.Decisions() != 1 {
+		t.Fatalf("decisions %d, want 1 (seed observed)", c.Decisions())
+	}
+	stalls.Add(5)
+	post(2)
+	if c.Level() != 1 {
+		t.Fatalf("level %d after stall delta through the board, want 1", c.Level())
+	}
+
+	// Garbage must not kill the loop: wrong payload type, truncated bytes.
+	bb.Post(metaT, 3, "not bytes")
+	bb.Post(metaT, 3, []byte{1, 2, 3})
+	bb.Drain()
+	stalls.Add(5)
+	post(3)
+	if c.Level() != 2 {
+		t.Fatalf("level %d after garbage interleave, want 2", c.Level())
+	}
+
+	// Duplicate registration fails cleanly.
+	if _, err := NewController(bb, Config{}, nil); err == nil {
+		t.Fatal("second controller registered on the same board")
+	}
+}

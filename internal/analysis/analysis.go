@@ -52,6 +52,12 @@ type Pipeline struct {
 	// Density accumulates per-rank call statistics for density maps.
 	Density *DensityModule
 
+	// Completeness accumulates the shed ledgers from audit packs (flat
+	// path) and partial shed sections (tree path): the loss accounting
+	// behind the report's completeness bounds. Always present; empty
+	// unless an admission gate shed events.
+	Completeness *CompletenessModule
+
 	// Optional modules, recorded when enabled so tree-mode partials can
 	// be absorbed into them (AbsorbPartial).
 	waits     *WaitStateModule
@@ -77,11 +83,12 @@ func (p *Pipeline) SetCodecTelemetry(m *telemetry.CodecMetrics) { p.codec = m }
 // application of the given rank count under the given level name.
 func NewPipeline(bb *blackboard.Blackboard, level string, appSize int) (*Pipeline, error) {
 	p := &Pipeline{
-		bb:       bb,
-		level:    level,
-		Profiler: NewProfilerModule(appSize),
-		Topology: NewTopologyModule(appSize),
-		Density:  NewDensityModule(appSize),
+		bb:           bb,
+		level:        level,
+		Profiler:     NewProfilerModule(appSize),
+		Topology:     NewTopologyModule(appSize),
+		Density:      NewDensityModule(appSize),
+		Completeness: NewCompletenessModule(),
 	}
 	packT := blackboard.TypeID(level, TypePack)
 	eventT := blackboard.TypeID(level, TypeEvent)
@@ -214,6 +221,16 @@ func NewDispatcher(bb *blackboard.Blackboard) (*Dispatcher, error) {
 			if p == nil {
 				panic(fmt.Sprintf("analysis: pack for unregistered app id %d", h.AppID))
 			}
+			if h.Version == trace.PackAudit {
+				// A recorder's shed ledger rides the data stream; it feeds
+				// the completeness accounting, not the event pipeline.
+				_, entries, err := trace.DecodeAuditPack(buf)
+				if err != nil {
+					panic(fmt.Sprintf("analysis: undecodable audit pack: %v", err))
+				}
+				p.Completeness.AddAudit(entries)
+				return
+			}
 			p.PostPack(buf)
 		},
 	})
@@ -290,6 +307,9 @@ func (p *Pipeline) AbsorbPartial(pp *Partial) {
 	}
 	if p.sizes != nil && pp.Sizes != nil {
 		p.sizes.Merge(pp.Sizes)
+	}
+	if pp.Shed != nil {
+		p.Completeness.Merge(pp.Shed)
 	}
 }
 

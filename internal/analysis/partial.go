@@ -38,6 +38,13 @@ type Partial struct {
 	Temporal  *TemporalModule
 	Callsites *CallsiteModule
 	Sizes     *SizesModule
+
+	// Shed carries the load-shedding ledger folded from audit packs (nil
+	// until one arrives). Unlike the modules above it is data-driven, not
+	// option-driven: it appears exactly when shedding occurred, so
+	// non-shedding runs encode byte-identical partials with or without an
+	// admission gate in the path.
+	Shed *CompletenessModule
 }
 
 // PartialOptions selects which analysis modules a Partial carries; it
@@ -116,6 +123,12 @@ func (pp *Partial) Merge(o *Partial) error {
 	pp.Profiler.Merge(o.Profiler)
 	pp.Topology.Merge(o.Topology)
 	pp.Density.Merge(o.Density)
+	if o.Shed != nil {
+		if pp.Shed == nil {
+			pp.Shed = NewCompletenessModule()
+		}
+		pp.Shed.Merge(o.Shed)
+	}
 	if pp.Waits != nil {
 		pp.Waits.MergeFull(o.Waits)
 	}
@@ -146,6 +159,7 @@ const (
 	flagCallsites
 	flagSizes
 	flagPendings
+	flagShed
 )
 
 // AppendCanonical appends the partial's full canonical encoding
@@ -185,6 +199,10 @@ func (pp *Partial) encode(buf []byte, pendings, reset bool) []byte {
 	if pendings {
 		flags |= flagPendings
 	}
+	shed := pp.Shed != nil && !pp.Shed.Empty()
+	if shed {
+		flags |= flagShed
+	}
 	w.u32(flags)
 	w.i64(pp.opts.TemporalWindowNs)
 
@@ -203,7 +221,60 @@ func (pp *Partial) encode(buf []byte, pendings, reset bool) []byte {
 	if pp.Sizes != nil {
 		pp.encodeSizes(&w, reset)
 	}
+	if shed {
+		pp.encodeShed(&w, reset)
+	}
 	return w.buf
+}
+
+// AddAudit folds audit-pack entries (a recorder's shed ledger) into the
+// partial, creating its completeness module on first use.
+func (pp *Partial) AddAudit(entries []trace.AuditEntry) {
+	if len(entries) == 0 {
+		return
+	}
+	if pp.Shed == nil {
+		pp.Shed = NewCompletenessModule()
+	}
+	pp.Shed.AddAudit(entries)
+}
+
+func (pp *Partial) encodeShed(w *pwriter, reset bool) {
+	m := pp.Shed
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	kinds := make([]trace.Kind, 0, len(m.per))
+	for k := range m.per {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	w.u32(uint32(len(kinds)))
+	for _, k := range kinds {
+		st := m.per[k]
+		w.u32(uint32(k))
+		w.i64(st.Shed)
+		w.i64(st.Kept)
+	}
+	if reset {
+		m.per = map[trace.Kind]*ShedStat{}
+	}
+}
+
+func (pp *Partial) decodeShed(r *preader) error {
+	m := pp.Shed
+	n := int(r.u32())
+	if err := r.fits(n, 4+16); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		k := trace.Kind(r.u32())
+		st := ShedStat{Shed: r.i64(), Kept: r.i64()}
+		if st.Shed < 0 || st.Kept < 0 {
+			return fmt.Errorf("analysis: negative shed ledger counts for %v", k)
+		}
+		m.per[k] = &st
+	}
+	return r.err
 }
 
 func sortedKinds(m map[trace.Kind][]Stat) []trace.Kind {
@@ -522,6 +593,12 @@ func DecodePartial(buf []byte) (*Partial, error) {
 	}
 	if pp.Sizes != nil {
 		if err := pp.decodeSizes(&r); err != nil {
+			return nil, err
+		}
+	}
+	if flags&flagShed != 0 {
+		pp.Shed = NewCompletenessModule()
+		if err := pp.decodeShed(&r); err != nil {
 			return nil, err
 		}
 	}

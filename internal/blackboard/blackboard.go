@@ -154,9 +154,12 @@ type Stats struct {
 	// OpPanics counts knowledge-source operations that panicked and were
 	// isolated.
 	OpPanics int64
-	// Dropped counts entries posted after Close and discarded. A closed
-	// board sheds load instead of crashing the poster: during a degraded
-	// shutdown the stream side may still be flushing blocks at it.
+	// Dropped counts entries discarded undelivered, from every discard
+	// path: posts after Close (a closed board sheds load instead of
+	// crashing the poster — during a degraded shutdown the stream side may
+	// still be flushing blocks at it) and entries whose listener vanished
+	// in a re-registration race. Together with Posted and Jobs this closes
+	// the board's delivery ledger: nothing is discarded uncounted.
 	Dropped int64
 }
 
@@ -281,6 +284,13 @@ func (bb *Blackboard) Register(ks KS) error {
 func (bb *Blackboard) Unregister(name string) {
 	for _, slot := range bb.TakeKS(name) {
 		for _, e := range slot {
+			// A parked partial input released at unregister is an entry
+			// discarded undelivered: ledger it like every other discard
+			// path, so Stats.Dropped stays complete. (TakeKS itself hands
+			// the entries to the caller and counts nothing — the Reducer
+			// extraction path delivers them, it does not discard.)
+			bb.dropped.Add(1)
+			bb.tel.Load().OnDrop()
 			e.Release()
 		}
 	}
@@ -327,7 +337,15 @@ func (bb *Blackboard) PostEntry(e *Entry) {
 	bb.mu.RUnlock()
 	for _, st := range listeners {
 		e.Retain()
-		if inputs := st.offer(e); inputs != nil {
+		inputs, ok := st.offer(e)
+		if !ok {
+			// The entry was discarded undelivered: count it, like every
+			// other discard path, so Stats.Dropped stays a complete ledger.
+			bb.dropped.Add(1)
+			bb.tel.Load().OnDrop()
+			continue
+		}
+		if inputs != nil {
 			bb.push(job{st: st, inputs: inputs})
 		}
 	}
@@ -335,8 +353,9 @@ func (bb *Blackboard) PostEntry(e *Entry) {
 }
 
 // offer places e on the KS's least-filled matching slot and, if every slot
-// is non-empty, pops one entry per slot as a job input set.
-func (st *ksState) offer(e *Entry) []*Entry {
+// is non-empty, pops one entry per slot as a job input set. The second
+// return is false when the entry was discarded instead of enqueued.
+func (st *ksState) offer(e *Entry) ([]*Entry, bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	best := -1
@@ -352,12 +371,12 @@ func (st *ksState) offer(e *Entry) []*Entry {
 		// Listener snapshot raced with a re-registration under the same
 		// name; drop the reference (Release is atomic, safe under st.mu).
 		e.Release()
-		return nil
+		return nil, false
 	}
 	st.pend[best] = append(st.pend[best], e)
 	for _, slot := range st.pend {
 		if len(slot) == 0 {
-			return nil
+			return nil, true
 		}
 	}
 	inputs := make([]*Entry, len(st.pend))
@@ -365,7 +384,7 @@ func (st *ksState) offer(e *Entry) []*Entry {
 		inputs[i] = st.pend[i][0]
 		st.pend[i] = st.pend[i][1:]
 	}
-	return inputs
+	return inputs, true
 }
 
 // push enqueues a job on a random FIFO and wakes a worker. The queued

@@ -570,3 +570,46 @@ func TestPostAfterCloseDropsAndCounts(t *testing.T) {
 		t.Fatalf("dropped entry holds %d refs, want 0 (reference released)", e.Refs())
 	}
 }
+
+// TestDroppedLedgerComplete pins Stats.Dropped as a complete discard
+// ledger: parked partials released by Unregister and posts arriving after
+// Close are both counted, so deliveries + parked + dropped always
+// reconciles against posts. (The adaptive engine reports these counts in
+// the loss-accounting chapter; an uncounted discard path would understate
+// engine-side loss.)
+func TestDroppedLedgerComplete(t *testing.T) {
+	bb := New(Config{Workers: 2})
+	typ := TypeID("l", "A")
+	other := TypeID("l", "B")
+	var fired atomic.Int64
+	if err := bb.Register(KS{
+		Name:          "join",
+		Sensitivities: []Type{typ, other},
+		Op:            func(_ *Blackboard, _ []*Entry) { fired.Add(1) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Three A-entries park (no B ever arrives): released at unregister,
+	// each must land in Dropped.
+	for i := 0; i < 3; i++ {
+		bb.Post(typ, 0, nil)
+	}
+	bb.Drain()
+	bb.Unregister("join")
+	if got := bb.Stats().Dropped; got != 3 {
+		t.Fatalf("Dropped after unregister = %d, want 3 parked discards", got)
+	}
+	if fired.Load() != 0 {
+		t.Fatal("join fired without its second input")
+	}
+
+	// Posts after Close are discarded — and counted.
+	bb.Close()
+	bb.Post(typ, 0, nil)
+	if got := bb.Stats().Dropped; got != 4 {
+		t.Fatalf("Dropped after late post = %d, want 4", got)
+	}
+	if bb.Stats().Posted != 3 {
+		t.Fatalf("Posted = %d, want 3 (late post discarded, not posted)", bb.Stats().Posted)
+	}
+}

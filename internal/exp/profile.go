@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/analysis"
 	"repro/internal/blackboard"
 	"repro/internal/des"
@@ -81,6 +82,21 @@ type ProfileOptions struct {
 	// TelemetryPeriod is the snapshot cadence in virtual time
 	// (0 = the sampler's 10ms default).
 	TelemetryPeriod time.Duration
+	// Adaptive engages the closed-loop overload controller: a blackboard
+	// knowledge source consumes the engine-health snapshots and actuates
+	// per-stream credit windows, the pack wire format, the tree's
+	// partial-flush cadence, and class-level admission gates that shed
+	// events under sustained overload with a quantified completeness
+	// bound. Implies Telemetry — the controller is blind without
+	// snapshots. Disabled (the default), the run is byte-identical to a
+	// non-adaptive one.
+	Adaptive bool
+	// AdaptiveConfig tunes the controller (zero value = adapt defaults).
+	AdaptiveConfig adapt.Config
+	// AnalyzerByteRate overrides the modeled analyzer processing rate in
+	// bytes/second (0 = the calibration constant). The overload
+	// experiments throttle the analysis partition with it.
+	AnalyzerByteRate float64
 
 	// TreeLevels selects the analysis topology: 1 (or 0) is the seed's
 	// flat pipeline, where every analyzer posts raw packs straight on the
@@ -133,6 +149,14 @@ type RunStats struct {
 	UpFailovers   int64
 	UpQuarantines int64
 	UpDropped     int64
+	// ShedEvents counts events dropped by the admission gates (adaptive
+	// runs only; every one is accounted per class in the report's
+	// completeness section).
+	ShedEvents int64
+	// AdaptMaxLevel is the highest escalation level the controller
+	// reached; AdaptDecisions counts its control decisions.
+	AdaptMaxLevel  int
+	AdaptDecisions int64
 }
 
 // ProfileRun executes one or more instrumented applications together with
@@ -164,6 +188,10 @@ func ProfileRunStats(p Platform, workloads []*nas.Workload, opts ProfileOptions)
 	if len(workloads) == 0 {
 		return nil, nil, fmt.Errorf("exp: no workloads to profile")
 	}
+	if opts.Adaptive {
+		// The controller's only sensor is the engine-health channel.
+		opts.Telemetry = true
+	}
 	appProcs := 0
 	for _, w := range workloads {
 		appProcs += w.Procs
@@ -179,6 +207,15 @@ func ProfileRunStats(p Platform, workloads []*nas.Workload, opts ProfileOptions)
 	packBytes := opts.PackBytes
 	if packBytes <= 0 {
 		packBytes = StreamBlockSize
+	}
+	rate := opts.AnalyzerByteRate
+	if rate <= 0 {
+		rate = AnalyzerByteRate
+	}
+	// Same expression as analysisCost, so the default rate reproduces its
+	// float math exactly.
+	cost := func(bytes int64) time.Duration {
+		return time.Duration(float64(bytes) / rate * 1e9)
 	}
 
 	levels := opts.TreeLevels
@@ -251,6 +288,15 @@ func ProfileRunStats(p Platform, workloads []*nas.Workload, opts ProfileOptions)
 			return nil, nil, err
 		}
 	}
+	// The controller rides the same board: its knowledge source sees every
+	// meta-event the engine-health KS sees, closing the loop through the
+	// real analysis machinery.
+	var ctl *adapt.Controller
+	if opts.Adaptive {
+		if ctl, err = adapt.NewController(bb, opts.AdaptiveConfig, telemetry.NewControllerMetrics(reg)); err != nil {
+			return nil, nil, err
+		}
+	}
 
 	var layout *vmpi.Layout
 	var runErr error
@@ -274,8 +320,21 @@ func ProfileRunStats(p Platform, workloads []*nas.Workload, opts ProfileOptions)
 			tm:         treeMetrics,
 			fail:       fail,
 			stats:      stats,
+			cost:       cost,
+			ctl:        ctl,
 		}
 	}
+
+	// Per-stream loss accounting for the report: one probe per
+	// instrumented rank, read after the run. Rank mains execute one at a
+	// time on the simulator, so plain appends are safe.
+	type lossProbe struct {
+		app  string
+		rank int
+		rec  *instrument.OnlineRecorder
+		gate *adapt.Gate
+	}
+	var probes []*lossProbe
 
 	programs := make([]mpi.Program, 0, len(workloads)+2)
 	for i, w := range workloads {
@@ -296,12 +355,26 @@ func ProfileRunStats(p Platform, workloads []*nas.Workload, opts ProfileOptions)
 				if opts.PackV2 {
 					cfg.PackVersion = trace.PackV2
 				}
+				if opts.Adaptive {
+					// Announce the v2 ceiling so the controller may switch
+					// formats mid-run without renegotiating.
+					cfg.AnnouncePackVersion = trace.PackV2
+				}
 				rec, err := instrument.AttachOnline(sess, "Analyzer", cfg)
 				if err != nil {
 					fail(err)
 					return
 				}
 				m.SetRecorder(rec)
+				probe := &lossProbe{app: w.Name, rank: sess.LocalRank(), rec: rec}
+				probes = append(probes, probe)
+				if ctl != nil {
+					g := ctl.NewGate()
+					probe.gate = g
+					rec.SetGate(g)
+					rec.SetPackVersionFunc(ctl.PackVersion)
+					ctl.AddStream(rec.Stream())
+				}
 				// Nil-safe: with telemetry disabled these attach nil
 				// handles, whose methods no-op.
 				rec.SetTelemetry(sinkMetrics.Shard(r.Global()))
@@ -317,19 +390,25 @@ func ProfileRunStats(p Platform, workloads []*nas.Workload, opts ProfileOptions)
 					ap := sess.Layout().DescByName("Analyzer")
 					telStream = vmpi.NewStream(sess, telemetry.SnapshotBlockSize, vmpi.BalanceNone)
 					telStream.SetChannel(telemetry.StreamChannel)
+					// The meta channel is itself instrumented: under overload
+					// the sampler's writes stall like any other stream's, and
+					// those stalls are the controller's most immediate signal.
+					telStream.SetTelemetry(streamMetrics.Shard(r.Global()))
 					if err := telStream.OpenRanks([]int{ap.Globals[0]}, "w"); err != nil {
 						fail(err)
 						return
+					}
+					if ctl != nil {
+						ctl.AddStream(telStream)
 					}
 					sampler = telemetry.NewSampler(reg, telStream, opts.TelemetryPeriod, r.Global())
 					sampler.SetBufferFunc(func(n int) []byte { return vmpi.GetBlock(n)[:0] })
 					rec.SetSampler(sampler)
 				}
 				w.Run(m)
-				if sampler != nil {
-					// Parting snapshot at the application's finish time,
-					// then release the analyzer's meta reader.
-					_ = sampler.Flush(r.Now())
+				if telStream != nil {
+					// The recorder's Finalize already flushed the parting
+					// snapshot; release the analyzer's meta reader.
 					if err := telStream.Close(); err != nil {
 						fail(err)
 					}
@@ -357,6 +436,10 @@ func ProfileRunStats(p Platform, workloads []*nas.Workload, opts ProfileOptions)
 				}
 			}
 			st := vmpi.NewStream(sess, int64(packBytes), vmpi.BalanceRoundRobin)
+			// Read-side accounting closes the controller's backlog loop:
+			// bytes_written - bytes_read across all shards is exactly the
+			// volume queued between the instrumented ranks and the analyzers.
+			st.SetTelemetry(streamMetrics.Shard(r.Global()))
 			if err := st.OpenMap(&m, "r"); err != nil {
 				fail(err)
 				return
@@ -371,7 +454,7 @@ func ProfileRunStats(p Platform, workloads []*nas.Workload, opts ProfileOptions)
 				stats.RootIngestBytes += blk.Size
 				stats.RootPosts++
 				disp.PostRaw(blk.Payload)
-				r.Compute(analysisCost(blk.Size))
+				r.Compute(cost(blk.Size))
 				return true
 			}
 			finish := func() bool { return true }
@@ -388,6 +471,7 @@ func ProfileRunStats(p Platform, workloads []*nas.Workload, opts ProfileOptions)
 			if opts.Telemetry && sess.LocalRank() == 0 {
 				telSt = vmpi.NewStream(sess, telemetry.SnapshotBlockSize, vmpi.BalanceNone)
 				telSt.SetChannel(telemetry.StreamChannel)
+				telSt.SetTelemetry(streamMetrics.Shard(r.Global()))
 				if err := telSt.OpenRanks([]int{sess.Layout().Partition(0).Globals[0]}, "r"); err != nil {
 					fail(err)
 					return
@@ -440,6 +524,15 @@ func ProfileRunStats(p Platform, workloads []*nas.Workload, opts ProfileOptions)
 					switch {
 					case err == nil && blk != nil:
 						health.PostMeta(blk.Payload)
+						if ctl != nil {
+							// Settle the board before the sim advances: the
+							// controller's knowledge source runs on a host
+							// worker, and draining here pins its decision to
+							// the snapshot's virtual timestamp instead of
+							// leaving actuation to host scheduling. Keeps
+							// adaptive runs deterministic.
+							bb.Drain()
+						}
 						progress = true
 					case err == nil:
 						telOpen = false
@@ -612,23 +705,43 @@ func ProfileRunStats(p Platform, workloads []*nas.Workload, opts ProfileOptions)
 		}
 		stats.AnalyzedEvents += pipes[i].Profiler.Events()
 	}
+	if ctl != nil {
+		stats.ShedEvents = ctl.TotalShed()
+		stats.AdaptMaxLevel = ctl.MaxLevelSeen()
+		stats.AdaptDecisions = ctl.Decisions()
+	}
 
 	rep := &report.Report{
 		Title:        fmt.Sprintf("online profiling report (%s)", p.Name),
 		EngineHealth: health,
 	}
+	for _, pr := range probes {
+		st := pr.rec.StreamStats()
+		var shed int64
+		if pr.gate != nil {
+			shed = pr.gate.TotalShed()
+		}
+		rep.StreamLoss = append(rep.StreamLoss, report.StreamLossRow{
+			App:          pr.app,
+			Rank:         pr.rank,
+			Dropped:      st.BlocksDropped,
+			LostInFlight: st.BlocksLostInFlight,
+			Shed:         shed,
+		})
+	}
 	for i, w := range workloads {
 		rep.Chapters = append(rep.Chapters, &report.Chapter{
-			App:       w.Name,
-			Procs:     w.Procs,
-			WallTime:  time.Duration(world.ProgramFinish(i).Duration()),
-			Profiler:  pipes[i].Profiler,
-			Topology:  pipes[i].Topology,
-			Density:   pipes[i].Density,
-			WaitState: waits[i],
-			Temporal:  temporals[i],
-			Callsites: callsites[i],
-			Sizes:     sizes[i],
+			App:          w.Name,
+			Procs:        w.Procs,
+			WallTime:     time.Duration(world.ProgramFinish(i).Duration()),
+			Profiler:     pipes[i].Profiler,
+			Topology:     pipes[i].Topology,
+			Density:      pipes[i].Density,
+			WaitState:    waits[i],
+			Temporal:     temporals[i],
+			Callsites:    callsites[i],
+			Sizes:        sizes[i],
+			Completeness: pipes[i].Completeness,
 		})
 	}
 	return rep, stats, nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/analysis"
 	"repro/internal/blackboard"
 	"repro/internal/mpi"
@@ -32,6 +33,12 @@ type treeCtx struct {
 	tm         *telemetry.TreeMetrics // nil-safe when telemetry is off
 	fail       func(error)
 	stats      *RunStats
+	// cost models the analyzer processing time for an ingested block
+	// (profile.go builds it from the run's analyzer byte rate).
+	cost func(int64) time.Duration
+	// ctl, when non-nil, is the adaptive controller; its FlushEvery
+	// overrides the static partial-flush cadence.
+	ctl *adapt.Controller
 
 	// Filled by bind once the layout exists (before world.Run).
 	leafGlobals []int
@@ -77,6 +84,18 @@ func (tc *treeCtx) writersInto(t int) []int {
 		out[j] = tc.aggGlobals[tc.plan.Local(t-1, j)]
 	}
 	return out
+}
+
+// cadence returns the current partial-flush interval in packs: the
+// controller's dynamic value when one is engaged and has decided, else
+// the static TreeFlushPacks option (0 = flush only at end of stream).
+func (tc *treeCtx) cadence() int {
+	if tc.ctl != nil {
+		if n := tc.ctl.FlushEvery(); n > 0 {
+			return n
+		}
+	}
+	return tc.flushEvery
 }
 
 func (tc *treeCtx) addUp(st vmpi.StreamStats) {
@@ -142,8 +161,20 @@ func (lf *treeLeaf) flush(final bool) bool {
 	return true
 }
 
+// part returns (creating on first use) the application's partial.
+func (lf *treeLeaf) part(appID uint32) *analysis.Partial {
+	pp := lf.parts[appID]
+	if pp == nil {
+		pp = analysis.NewPartial(appID, lf.tc.leafOpts[appID])
+		lf.parts[appID] = pp
+	}
+	return pp
+}
+
 // absorb folds one incoming pack into the leaf's partials and charges
-// the modeled analysis time.
+// the modeled analysis time. Audit packs — the admission gates' shed
+// ledgers — fold into the partial's completeness module and ride the
+// same reduction path as the statistics they bound.
 func (lf *treeLeaf) absorb(blk *vmpi.Block) bool {
 	h, err := trace.PeekHeader(blk.Payload)
 	if err != nil {
@@ -154,11 +185,18 @@ func (lf *treeLeaf) absorb(blk *vmpi.Block) bool {
 		lf.tc.fail(fmt.Errorf("exp: pack for unknown app id %d", h.AppID))
 		return false
 	}
-	pp := lf.parts[h.AppID]
-	if pp == nil {
-		pp = analysis.NewPartial(h.AppID, lf.tc.leafOpts[h.AppID])
-		lf.parts[h.AppID] = pp
+	if h.Version == trace.PackAudit {
+		_, entries, err := trace.DecodeAuditPack(blk.Payload)
+		if err != nil {
+			lf.tc.fail(fmt.Errorf("exp: leaf audit decode: %w", err))
+			return false
+		}
+		lf.part(h.AppID).AddAudit(entries)
+		lf.r.Compute(lf.tc.cost(blk.Size))
+		blk.Release()
+		return true
 	}
+	pp := lf.part(h.AppID)
 	var pr trace.PackReader
 	if err := pr.Init(blk.Payload); err != nil {
 		lf.tc.fail(fmt.Errorf("exp: leaf pack decode: %w", err))
@@ -171,10 +209,10 @@ func (lf *treeLeaf) absorb(blk *vmpi.Block) bool {
 		lf.tc.fail(fmt.Errorf("exp: leaf pack decode: %w", err))
 		return false
 	}
-	lf.r.Compute(analysisCost(blk.Size))
+	lf.r.Compute(lf.tc.cost(blk.Size))
 	blk.Release()
 	lf.packs++
-	if lf.tc.flushEvery > 0 && lf.packs%lf.tc.flushEvery == 0 {
+	if n := lf.tc.cadence(); n > 0 && lf.packs%n == 0 {
 		return lf.flush(false)
 	}
 	return true
@@ -268,10 +306,10 @@ func (tc *treeCtx) aggregatorMain(r *mpi.Rank, sess *vmpi.Session) {
 			tc.stats.Reparented++
 		}
 		tc.stats.TierIngestBytes[tier] += blk.Size
-		r.Compute(analysisCost(blk.Size))
+		r.Compute(tc.cost(blk.Size))
 		blk.Release()
 		blocks++
-		if tc.flushEvery > 0 && blocks%tc.flushEvery == 0 {
+		if n := tc.cadence(); n > 0 && blocks%n == 0 {
 			if !forward(false) {
 				return
 			}
@@ -331,7 +369,7 @@ func (tc *treeCtx) rootMain(r *mpi.Rank, sess *vmpi.Session, tm *telemetry.TreeM
 				// The board owns the payload from here (the partial
 				// unpacker decodes it asynchronously): no Release.
 				tc.disp.PostRawPartial(blk.Payload)
-				r.Compute(analysisCost(blk.Size))
+				r.Compute(tc.cost(blk.Size))
 				progress = true
 			case err == nil:
 				open[c] = false

@@ -115,6 +115,12 @@ type OnlineConfig struct {
 	// fixed-record format, trace.PackV2 for delta+varint columns). Writers
 	// using v2 announce it on the stream at open (vmpi format hello).
 	PackVersion int
+	// AnnouncePackVersion announces this format on the stream at open even
+	// when PackVersion starts lower — the ceiling a runtime format switch
+	// (SetPackVersionFunc) may reach. The announcement is a negotiation
+	// ceiling, not a promise: every pack self-describes, so a writer that
+	// announced v2 may keep streaming v1 packs. 0 announces PackVersion.
+	AnnouncePackVersion int
 	// WriteDeadline bounds how long a pack write may wait for stream
 	// credits before the stalled endpoint is quarantined (0 = wait
 	// forever, the seed behavior).
@@ -137,6 +143,17 @@ func DefaultOnlineConfig(appID uint32) OnlineConfig {
 	}
 }
 
+// AdmissionGate is the recorder path's load-shedding hook (implemented by
+// adapt.Gate): Admit decides per event class whether an event enters the
+// pack stream, and AuditPack encodes the resulting shed ledger so the
+// recorder can ship its loss accounting down the stream it applies to.
+// Both must be safe to call while a controller retunes the gate from
+// another goroutine.
+type AdmissionGate interface {
+	Admit(k trace.Kind) bool
+	AuditPack(appID uint32, srcRank int32) []byte
+}
+
 // OnlineRecorder packs events and writes them to a VMPI stream. Its
 // overhead is its per-event cost plus whatever back-pressure the stream
 // applies when the analyzer or the network cannot keep up. When the stream
@@ -149,12 +166,21 @@ type OnlineRecorder struct {
 	stream   *vmpi.Stream
 	builder  trace.Builder // nil only on the v1 size-only fast path
 	version  int
+	appID    uint32
 	cost     costMeter
 	sizeOnly bool
 	produced int64
 	logical  int64
 	events   int64
 	closed   bool
+
+	// Adaptive hooks (nil when the controller is disabled): the admission
+	// gate sheds events by class before they cost pack space, and packFn is
+	// consulted at each flush boundary for the wire format the next pack
+	// should use (v1↔v2 switching is safe there because every pack
+	// self-describes via its magic).
+	gate   AdmissionGate
+	packFn func() int
 
 	// Size-only fast path (v1 only): no encoding, just byte accounting.
 	recordSize int
@@ -185,6 +211,7 @@ func NewOnlineRecorder(sess *vmpi.Session, stream *vmpi.Stream, cfg OnlineConfig
 		sess:       sess,
 		stream:     stream,
 		version:    version,
+		appID:      cfg.AppID,
 		cost:       newCostMeter(sess.Rank(), cfg.PerEventCost),
 		sizeOnly:   cfg.SizeOnly,
 		recordSize: cfg.RecordSize,
@@ -234,8 +261,8 @@ func AttachOnline(sess *vmpi.Session, analyzer string, cfg OnlineConfig) (*Onlin
 	if cfg.WriteDeadline > 0 {
 		st.SetWriteDeadline(cfg.WriteDeadline)
 	}
-	if cfg.PackVersion > trace.PackV1 {
-		st.SetPackFormat(cfg.PackVersion)
+	if announce := max(cfg.PackVersion, cfg.AnnouncePackVersion); announce > trace.PackV1 {
+		st.SetPackFormat(announce)
 	}
 	if cfg.FailoverEndpoints > 0 {
 		peers := failoverPeers(m.Targets(), part.Globals, cfg.FailoverEndpoints)
@@ -314,8 +341,21 @@ func (o *OnlineRecorder) LogicalBytes() int64 { return o.logical }
 
 // SetSampler attaches a telemetry sampler driven from this recorder's
 // event flow: each Record gives the sampler a chance to emit a snapshot at
-// the rank's current virtual time. Nil detaches.
+// the rank's current virtual time. Nil detaches. Finalize flushes a last
+// snapshot, so even runs shorter than one sampling period report
+// engine-health data.
 func (o *OnlineRecorder) SetSampler(s *telemetry.Sampler) { o.sampler = s }
+
+// SetGate installs an admission gate in front of the pack stream: events
+// whose class the gate sheds are counted there and recorded nowhere else.
+// Nil removes the gate.
+func (o *OnlineRecorder) SetGate(g AdmissionGate) { o.gate = g }
+
+// SetPackVersionFunc installs the pack-format selector consulted at each
+// flush boundary (e.g. the adaptive controller's PackVersion). The stream
+// must have announced the highest format f may return (AttachOnline's
+// AnnouncePackVersion). Nil pins the format chosen at construction.
+func (o *OnlineRecorder) SetPackVersionFunc(f func() int) { o.packFn = f }
 
 // WriteErr returns the stream error that forced fallback, if any. A
 // degraded-but-errorless stream (drops, no protocol error) leaves it nil.
@@ -346,6 +386,9 @@ func (o *OnlineRecorder) Record(ev *trace.Event) {
 		// emitted here, stamped with the rank's current virtual time. A
 		// failed snapshot write never fails the profiled run.
 		_ = o.sampler.Poll(o.sess.Rank().Now())
+	}
+	if o.gate != nil && ev != nil && !o.gate.Admit(ev.Kind) {
+		return // shed: counted by class in the gate's ledger
 	}
 	if o.fellBack {
 		if ev != nil {
@@ -449,7 +492,27 @@ func (o *OnlineRecorder) flush() {
 	// Start the next pack in a recycled payload buffer: once consumers
 	// release their blocks, the steady state allocates no pack storage
 	// at all.
+	o.switchFormat()
 	o.builder.Reset(vmpi.GetBlock(o.builder.CapBytes()))
+}
+
+// switchFormat swaps the pack builder when the format selector wants a
+// different wire format for the next pack. Only meaningful between packs:
+// flush calls it after taking the previous pack and before resetting.
+func (o *OnlineRecorder) switchFormat() {
+	if o.packFn == nil || o.builder == nil {
+		return
+	}
+	v := o.packFn()
+	if v == o.version || v < trace.PackV1 || v > trace.PackV2 {
+		return
+	}
+	b, err := trace.NewBuilder(v, o.appID, int32(o.sess.LocalRank()), o.recordSize, o.packBytes)
+	if err != nil {
+		return
+	}
+	o.version = v
+	o.builder = b
 }
 
 // Finalize implements Recorder: it flushes the last pack and closes the
@@ -462,7 +525,21 @@ func (o *OnlineRecorder) Finalize() {
 	}
 	o.closed = true
 	o.flush()
+	if o.gate != nil && !o.fellBack {
+		// Ship the shed ledger after the last data pack: an audit pack per
+		// finalizing rank, folded into the partial profiles downstream so
+		// the completeness bound survives aggregation. Nothing shed → no
+		// pack, keeping gate-but-calm runs wire-identical.
+		if buf := o.gate.AuditPack(o.appID, int32(o.sess.LocalRank())); buf != nil {
+			if err := o.stream.Write(buf, int64(len(buf))); err != nil {
+				o.writeErr = err
+			}
+		}
+	}
 	o.cost.settle()
+	// A last snapshot at shutdown: short runs (under one sampling period)
+	// would otherwise report an empty engine-health chapter.
+	_ = o.sampler.Flush(o.sess.Rank().Now())
 	if err := o.stream.Close(); err != nil {
 		if !o.fellBack {
 			o.writeErr = err

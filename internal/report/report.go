@@ -316,6 +316,26 @@ type Chapter struct {
 	Callsites *analysis.CallsiteModule
 	// Sizes, when non-nil, adds the message-size distribution.
 	Sizes *analysis.SizesModule
+	// Completeness, when non-nil and non-empty, adds the measurement
+	// completeness section: per-class shed counts and the loss bound
+	// shed/(shed+analyzed) from the adaptive engine's admission gates.
+	Completeness *analysis.CompletenessModule
+}
+
+// StreamLossRow is one instrumented stream's loss accounting, surfaced
+// in the engine-health chapter: blocks dropped by the writer's degraded
+// mode, blocks written off when the reader quarantined an endpoint, and
+// events shed by the admission gate before they reached the stream.
+type StreamLossRow struct {
+	App          string
+	Rank         int
+	Dropped      int64
+	LostInFlight int64
+	Shed         int64
+}
+
+func (r StreamLossRow) zero() bool {
+	return r.Dropped == 0 && r.LostInFlight == 0 && r.Shed == 0
 }
 
 // Report is a full multi-application profiling report ("structured with
@@ -329,6 +349,9 @@ type Report struct {
 	// coupling stack's self-telemetry accumulated from meta-events streamed
 	// over the engine's own VMPI channel.
 	EngineHealth *analysis.EngineHealthKS
+	// StreamLoss, when any row is nonzero, adds the per-stream loss table
+	// to the engine-health chapter.
+	StreamLoss []StreamLossRow
 }
 
 // Render writes the report as structured text.
@@ -346,6 +369,32 @@ func (r *Report) Render(w io.Writer) error {
 		if err := renderEngineHealth(w, r.EngineHealth); err != nil {
 			return err
 		}
+	}
+	if err := renderStreamLoss(w, r.StreamLoss); err != nil {
+		return err
+	}
+	return nil
+}
+
+// renderStreamLoss writes the per-stream loss table. Rows with no loss at
+// all are elided; a run with nothing lost prints nothing, so reports from
+// non-adaptive healthy runs are unchanged.
+func renderStreamLoss(w io.Writer, rows []StreamLossRow) error {
+	live := rows[:0:0]
+	for _, r := range rows {
+		if !r.zero() {
+			live = append(live, r)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	fmt.Fprintf(w, "\nPer-stream loss accounting:\n")
+	fmt.Fprintf(w, "  %-16s %6s %14s %16s %14s\n",
+		"app", "rank", "blocks dropped", "blocks lost", "events shed")
+	for _, r := range live {
+		fmt.Fprintf(w, "  %-16s %6d %14d %16d %14d\n",
+			r.App, r.Rank, r.Dropped, r.LostInFlight, r.Shed)
 	}
 	return nil
 }
@@ -491,6 +540,28 @@ func (ch *Chapter) render(w io.Writer) error {
 		if st.Max > 0 {
 			io.WriteString(w, DensityASCII(late, 48))
 		}
+	}
+
+	// Measurement completeness (adaptive engine only). Renders nothing
+	// when no events were shed, so non-adaptive chapters are unchanged.
+	if !ch.Completeness.Empty() {
+		fmt.Fprintf(w, "\nMeasurement completeness (load shedding active):\n")
+		fmt.Fprintf(w, "  %-14s %12s %12s %14s\n", "call", "analyzed", "shed", "completeness")
+		var totalShed, totalAnalyzed int64
+		for _, k := range ch.Completeness.Kinds() {
+			st := ch.Completeness.Stat(k)
+			analyzed := ch.Profiler.Stat(k).Hits
+			totalShed += st.Shed
+			totalAnalyzed += analyzed
+			if st.Shed == 0 {
+				continue
+			}
+			bound := ch.Completeness.Bound(k, analyzed)
+			fmt.Fprintf(w, "  %-14s %12d %12d %13.2f%%\n", k, analyzed, st.Shed, 100*(1-bound))
+		}
+		overall := float64(totalShed) / float64(totalShed+totalAnalyzed)
+		fmt.Fprintf(w, "advertised bound: >=%.2f%% of events analyzed (%d shed, %d analyzed)\n",
+			100*(1-overall), totalShed, totalAnalyzed)
 	}
 	return nil
 }

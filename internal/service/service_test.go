@@ -276,3 +276,33 @@ func TestTreeJob(t *testing.T) {
 		}
 	}
 }
+
+func TestAdaptiveJob(t *testing.T) {
+	// Controller options ride through the service untouched: an armed but
+	// unloaded job completes with a full report and an all-zero loss
+	// ledger (the idle controller sheds nothing).
+	lu, err := nas.LU(nas.ClassC, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(exp.Tera100())
+	res, err := s.Submit(Job{Workloads: []*nas.Workload{lu}, Options: exp.ProfileOptions{
+		Analyzers: 2, Workers: 2, Adaptive: true,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events == 0 || len(res.Report.Chapters) != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	for _, row := range res.Report.StreamLoss {
+		if row.Shed != 0 || row.Dropped != 0 || row.LostInFlight != 0 {
+			t.Fatalf("idle adaptive job lost events: %+v", row)
+		}
+	}
+	for _, ch := range res.Report.Chapters {
+		if ch.Completeness != nil && !ch.Completeness.Empty() {
+			t.Fatalf("chapter %s advertises loss on an unloaded run", ch.App)
+		}
+	}
+}

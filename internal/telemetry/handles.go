@@ -21,6 +21,9 @@ type StreamMetrics struct {
 	quarantines *Counter
 	failovers   *Counter
 	drops       *Counter
+	lost        *Counter
+	resizes     *Counter
+	window      *Gauge
 	credits     *Gauge
 }
 
@@ -39,6 +42,9 @@ func NewStreamMetrics(reg *Registry) *StreamMetrics {
 		quarantines: reg.Counter("stream.quarantines"),
 		failovers:   reg.Counter("stream.failovers"),
 		drops:       reg.Counter("stream.blocks_dropped"),
+		lost:        reg.Counter("stream.blocks_lost_inflight"),
+		resizes:     reg.Counter("stream.window_resizes"),
+		window:      reg.Gauge("stream.window"),
 		credits:     reg.Gauge("stream.credits_in_flight"),
 	}
 }
@@ -111,6 +117,24 @@ func (m *StreamMetrics) OnDrop() {
 		return
 	}
 	m.drops.AddShard(m.shard, 1)
+}
+
+// OnLostInFlight records n written blocks whose credits were written off
+// when their endpoint was quarantined.
+func (m *StreamMetrics) OnLostInFlight(n int64) {
+	if m == nil {
+		return
+	}
+	m.lost.AddShard(m.shard, n)
+}
+
+// OnWindowResize records one runtime credit-window retarget to na buffers.
+func (m *StreamMetrics) OnWindowResize(na int) {
+	if m == nil {
+		return
+	}
+	m.resizes.AddShard(m.shard, 1)
+	m.window.Set(int64(na))
 }
 
 // CreditsInFlight records the writer's outstanding (unacknowledged) block
@@ -458,6 +482,78 @@ func (m *TreeMetrics) PendingPartials(n int) {
 		return
 	}
 	m.pending.Set(int64(n))
+}
+
+// ControllerMetrics instruments the adaptive overload controller: its
+// escalation level, decision counts, the freshness of the engine-health
+// snapshots it steers by, and its estimate of the transport backlog. The
+// names land in the registry like every other bundle, so the controller
+// shows up in the engine-health chapter it feeds from.
+type ControllerMetrics struct {
+	level       *Gauge
+	decisions   *Counter
+	escalations *Counter
+	relaxations *Counter
+	lagNs       *Gauge
+	backlog     *Gauge
+}
+
+// NewControllerMetrics registers the controller instrument set on reg.
+func NewControllerMetrics(reg *Registry) *ControllerMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &ControllerMetrics{
+		level:       reg.Gauge("adapt.level"),
+		decisions:   reg.Counter("adapt.decisions"),
+		escalations: reg.Counter("adapt.escalations"),
+		relaxations: reg.Counter("adapt.relaxations"),
+		lagNs:       reg.Gauge("adapt.snapshot_lag_ns"),
+		backlog:     reg.Gauge("adapt.backlog_bytes"),
+	}
+}
+
+// OnDecision records one control decision and the resulting level.
+func (m *ControllerMetrics) OnDecision(level int) {
+	if m == nil {
+		return
+	}
+	m.decisions.Add(1)
+	m.level.Set(int64(level))
+}
+
+// OnEscalate records one escalation (level increase).
+func (m *ControllerMetrics) OnEscalate() {
+	if m == nil {
+		return
+	}
+	m.escalations.Add(1)
+}
+
+// OnRelax records one de-escalation (level decrease).
+func (m *ControllerMetrics) OnRelax() {
+	if m == nil {
+		return
+	}
+	m.relaxations.Add(1)
+}
+
+// SnapshotLag records the wall-clock age of the engine-health snapshot the
+// controller just acted on — the control loop's sensing latency.
+func (m *ControllerMetrics) SnapshotLag(ns int64) {
+	if m == nil {
+		return
+	}
+	m.lagNs.Set(ns)
+}
+
+// Backlog records the controller's estimate of unconsumed stream bytes
+// (written minus read), its proxy for transport pressure.
+func (m *ControllerMetrics) Backlog(bytes int64) {
+	if m == nil {
+		return
+	}
+	m.backlog.Set(bytes)
 }
 
 // ServiceMetrics instruments the profiling service front-end.

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Audit packs carry the recorder's shed ledger — per event class, how many
+// events the admission gate dropped (shed) and how many it let through
+// (kept) — down the same stream as the data packs they account for. The
+// analysis side folds them into its partial profiles, so the completeness
+// bound survives every aggregation hop exactly like the measurements do.
+//
+// The wire layout reuses the 24-byte pack header (magic "VPMA", RecordSize
+// = auditEntrySize) followed by Count fixed entries:
+//
+//	offset  field  type
+//	     0  kind   uint32  event class (trace.Kind)
+//	     4  shed   int64   events dropped by the gate
+//	    12  kept   int64   events admitted by the gate
+const (
+	packMagicAudit = 0x414d5056 // "VPMA" little-endian
+	// PackAudit is the Header.Version reported for audit packs.
+	PackAudit = 3
+	// auditEntrySize is the encoded size of one AuditEntry.
+	auditEntrySize = 20
+)
+
+// AuditEntry is one event class's shed ledger.
+type AuditEntry struct {
+	// Kind is the event class the counts apply to.
+	Kind Kind
+	// Shed counts events of this class dropped by the admission gate.
+	Shed int64
+	// Kept counts events of this class admitted past the gate.
+	Kept int64
+}
+
+// EncodeAuditPack encodes the given ledger entries as an audit pack.
+// Entries with zero shed count are skipped (a class that lost nothing
+// needs no bound); nil is returned when nothing was shed, so callers can
+// skip the write entirely and keep non-shedding runs wire-identical.
+func EncodeAuditPack(appID uint32, srcRank int32, entries []AuditEntry) []byte {
+	n := 0
+	for _, e := range entries {
+		if e.Shed > 0 {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	buf := make([]byte, PackHeaderSize, PackHeaderSize+n*auditEntrySize)
+	binary.LittleEndian.PutUint32(buf[0:], packMagicAudit)
+	binary.LittleEndian.PutUint32(buf[4:], appID)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(srcRank))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(n))
+	binary.LittleEndian.PutUint32(buf[16:], auditEntrySize)
+	binary.LittleEndian.PutUint32(buf[20:], 0)
+	var rec [auditEntrySize]byte
+	for _, e := range entries {
+		if e.Shed <= 0 {
+			continue
+		}
+		binary.LittleEndian.PutUint32(rec[0:], uint32(e.Kind))
+		binary.LittleEndian.PutUint64(rec[4:], uint64(e.Shed))
+		binary.LittleEndian.PutUint64(rec[12:], uint64(e.Kept))
+		buf = append(buf, rec[:]...)
+	}
+	return buf
+}
+
+// DecodeAuditPack decodes an audit pack produced by EncodeAuditPack.
+func DecodeAuditPack(buf []byte) (Header, []AuditEntry, error) {
+	h, err := PeekHeader(buf)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	if h.Version != PackAudit {
+		return Header{}, nil, fmt.Errorf("trace: pack format v%d is not an audit pack", h.Version)
+	}
+	entries := make([]AuditEntry, h.Count)
+	for i := range entries {
+		rec := buf[PackHeaderSize+i*auditEntrySize:]
+		k := Kind(binary.LittleEndian.Uint32(rec[0:]))
+		if k == KindInvalid || k >= kindCount {
+			return Header{}, nil, fmt.Errorf("trace: audit entry %d has invalid kind %d", i, k)
+		}
+		entries[i] = AuditEntry{
+			Kind: k,
+			Shed: int64(binary.LittleEndian.Uint64(rec[4:])),
+			Kept: int64(binary.LittleEndian.Uint64(rec[12:])),
+		}
+		if entries[i].Shed < 0 || entries[i].Kept < 0 {
+			return Header{}, nil, fmt.Errorf("trace: audit entry %d has negative counts", i)
+		}
+	}
+	return h, entries, nil
+}

@@ -50,6 +50,10 @@ const (
 	kindCount // sentinel
 )
 
+// KindCount is the number of kind values including the invalid zero —
+// the size a dense per-kind table must have to be indexed by any Kind.
+const KindCount = int(kindCount)
+
 var kindNames = [...]string{
 	KindInvalid:    "invalid",
 	KindSend:       "MPI_Send",
@@ -354,6 +358,8 @@ func PeekHeader(buf []byte) (Header, error) {
 		version = PackV1
 	case packMagicV2:
 		version = PackV2
+	case packMagicAudit:
+		version = PackAudit
 	default:
 		return Header{}, fmt.Errorf("trace: bad pack magic %#x", binary.LittleEndian.Uint32(buf))
 	}
@@ -363,6 +369,17 @@ func PeekHeader(buf []byte) (Header, error) {
 		Count:      int(binary.LittleEndian.Uint32(buf[12:])),
 		RecordSize: int(binary.LittleEndian.Uint32(buf[16:])),
 		Version:    version,
+	}
+	if version == PackAudit {
+		// Audit packs carry fixed ledger entries, not event records, so the
+		// record-size floor does not apply; the stride must match exactly.
+		if h.RecordSize != auditEntrySize {
+			return Header{}, fmt.Errorf("trace: audit pack record size %d, want %d", h.RecordSize, auditEntrySize)
+		}
+		if h.Count > (len(buf)-PackHeaderSize)/auditEntrySize {
+			return Header{}, fmt.Errorf("trace: audit pack truncated: %d bytes, header implies %d entries", len(buf), h.Count)
+		}
+		return h, nil
 	}
 	if h.RecordSize < MinRecordSize {
 		return Header{}, fmt.Errorf("trace: record size %d below minimum %d", h.RecordSize, MinRecordSize)

@@ -79,6 +79,8 @@ type streamCounters struct {
 	quarantines   atomic.Int64
 	failovers     atomic.Int64
 	blocksDropped atomic.Int64
+	blocksLost    atomic.Int64
+	resizes       atomic.Int64
 }
 
 // StreamStats is a point-in-time copy of an endpoint's counters.
@@ -106,6 +108,16 @@ type StreamStats struct {
 	// endpoint quarantined): the stream sheds measurement data instead of
 	// blocking the application.
 	BlocksDropped int64
+	// BlocksLostInFlight counts blocks that were written (and so appear in
+	// BlocksWritten) but whose endpoint was quarantined before returning a
+	// credit. Under fail-stop faults these blocks were never read, closing
+	// the ledger BlocksWritten = delivered + BlocksLostInFlight; under
+	// deadline quarantines the count is conservative (a stalled-but-alive
+	// reader may still consume the block).
+	BlocksLostInFlight int64
+	// WindowResizes counts runtime credit-window changes applied via
+	// RequestWindow.
+	WindowResizes int64
 }
 
 // Stream is a persistent asynchronous channel between this process and the
@@ -136,6 +148,11 @@ type Stream struct {
 	// Window sizes (default NA / NAOut).
 	na    int
 	naOut int
+
+	// Runtime window retarget, written by host-side controllers (see
+	// RequestWindow) and applied lazily in simulation context at the top of
+	// Write / the writer-half Close drain. 0 means "no change requested".
+	windowTarget atomic.Int32
 
 	// Pack-format negotiation. A stream carries opaque blocks; what the
 	// endpoints need to agree on is how the blocks' payloads are encoded.
@@ -179,6 +196,48 @@ func (st *Stream) SetWindow(na, naOut int) {
 		panic("vmpi: stream windows must be at least 1")
 	}
 	st.na, st.naOut = na, naOut
+}
+
+// RequestWindow asks the writer half to retarget its credit window to na
+// buffers per endpoint (and na shared output buffers) at the next
+// simulation-context-safe point. Unlike SetWindow it may be called at any
+// time, from any goroutine — it is the adaptive controller's actuator: the
+// request is stored atomically and applied lazily at the top of the next
+// Write (or writer-half Close), where the stream's bookkeeping is owned by
+// the simulation. Values below 1 are clamped to 1.
+func (st *Stream) RequestWindow(na int) {
+	if na < 1 {
+		na = 1
+	}
+	st.windowTarget.Store(int32(na))
+}
+
+// Window returns the writer's current per-endpoint credit window. A
+// pending RequestWindow not yet applied is not reflected.
+func (st *Stream) Window() int { return st.na }
+
+// applyWindow applies a pending RequestWindow retarget. Must run in
+// simulation context. Growing the window grants each live endpoint the
+// extra credits immediately; shrinking debits them, which may leave an
+// endpoint's credit temporarily negative until in-flight blocks are
+// acknowledged (pickWritable requires credits > 0, so the invariant
+// in-flight = na - credits is preserved and quarantine write-offs stay
+// exact).
+func (st *Stream) applyWindow() {
+	t := int(st.windowTarget.Load())
+	if t == 0 || t == st.na || st.mode&modeW == 0 {
+		return
+	}
+	delta := t - st.na
+	for i := range st.credits {
+		if !st.quarantined[i] {
+			st.credits[i] += delta
+		}
+	}
+	st.na = t
+	st.naOut = t
+	st.stats.resizes.Add(1)
+	st.tel.OnWindowResize(t)
 }
 
 // NewStream initializes a stream with the given block size and balancing
@@ -271,6 +330,9 @@ func (st *Stream) Stats() StreamStats {
 		Quarantines:   st.stats.quarantines.Load(),
 		Failovers:     st.stats.failovers.Load(),
 		BlocksDropped: st.stats.blocksDropped.Load(),
+
+		BlocksLostInFlight: st.stats.blocksLost.Load(),
+		WindowResizes:      st.stats.resizes.Load(),
 	}
 }
 
@@ -389,6 +451,13 @@ func (st *Stream) quarantine(i int) {
 	st.nQuarantined++
 	st.stats.quarantines.Add(1)
 	st.tel.OnQuarantine()
+	if inflight := st.na - st.credits[i]; inflight > 0 {
+		// These blocks were counted written but their credits will never
+		// return: write them off as lost so the end-to-end drop ledger
+		// (written = delivered + lost) stays closed.
+		st.stats.blocksLost.Add(int64(inflight))
+		st.tel.OnLostInFlight(int64(inflight))
+	}
 	st.outstanding -= st.na - st.credits[i]
 	st.credits[i] = 0
 	st.tel.CreditsInFlight(st.outstanding)
@@ -516,6 +585,7 @@ func (st *Stream) Write(payload []byte, size int64) error {
 		deadline = r.Now() + des.DurationToTime(st.writeDeadline)
 	}
 	for {
+		st.applyWindow()
 		// Sample the delivery generation before probing so an arrival that
 		// races with the probes keeps the wait from parking.
 		seq := r.ArrivalSeq()
@@ -736,6 +806,7 @@ func (st *Stream) Close() error {
 			deadline = r.Now() + des.DurationToTime(st.writeDeadline)
 		}
 		for st.outstanding > 0 {
+			st.applyWindow()
 			seq := r.ArrivalSeq()
 			if err := st.drainControl(); err != nil {
 				return err
