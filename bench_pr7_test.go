@@ -1,0 +1,119 @@
+package repro
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/trace"
+)
+
+type benchRecordPR7 struct {
+	Benchmark string `json:"benchmark"`
+	Workload  string `json:"workload"`
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+	// Baseline is the PR6 engine: v2 delta+varint packs posted on the
+	// single-partition blackboard, decoded per pack by the unpacker KS
+	// with one board entry per event.
+	Baseline exp.RawSpeedPoint `json:"baseline_v2_flat"`
+	// New is this PR's engine: v3 stream-dictionary packs folded through
+	// the fused decode→dispatch path over the sharded board.
+	New exp.RawSpeedPoint `json:"new_v3_sharded"`
+	// Ablations attribute the speedup: v3 fused over the 1-shard board
+	// (codec + fused path alone) and v2 over the sharded board (shards
+	// alone).
+	FusedOneShard exp.RawSpeedPoint `json:"ablation_v3_fused_one_shard"`
+	V2Sharded     exp.RawSpeedPoint `json:"ablation_v2_sharded_board"`
+	SpeedupX      float64           `json:"speedup_x"`
+	// WireRatioV3toV2 compares total wire bytes of the same workload
+	// under both codecs (< 1 means v3 is denser on this stream length).
+	WireRatioV3toV2 float64 `json:"wire_ratio_v3_to_v2"`
+}
+
+// TestRecordRawSpeedBench is PR7's acceptance gate and bench recorder:
+// the identical pre-encoded Fig14 workload is analyzed by the PR6 engine
+// (v2 packs, flat blackboard, per-event board entries) and by this PR's
+// engine (v3 stream-dictionary packs, sharded board, fused
+// decode→dispatch), at host speed with no simulator in the loop. The
+// gate requires >= 2x analyzed events per second; the recorded runs on CI
+// hardware land far above it. With RECORD_BENCH set it additionally
+// writes results/BENCH_PR7.json; without it, short mode skips.
+//
+// Correctness of the fast path is guarded elsewhere and at full
+// strictness: TestTreeProfileMatchesFlat pins flat/tree × v1/v2/v3
+// golden profile fingerprints byte-identical, and the trace/analysis
+// alloc guards pin PackBuilderV3 and the fused decode at zero
+// allocations per event.
+func TestRecordRawSpeedBench(t *testing.T) {
+	record := os.Getenv("RECORD_BENCH") != ""
+	if !record && testing.Short() {
+		t.Skip("short mode and RECORD_BENCH unset")
+	}
+	writers := 8
+	events := 100000
+	if record {
+		events = 200000
+	}
+	shards := runtime.NumCPU()
+	if shards > 8 {
+		shards = 8
+	}
+
+	run := func(version, shards int, fused bool) exp.RawSpeedPoint {
+		t.Helper()
+		pt, err := exp.RawAnalysisSpeed(exp.RawSpeedConfig{
+			Writers: writers, EventsPerWriter: events,
+			PackVersion: version, Shards: shards, Fused: fused,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pt
+	}
+	baseline := run(trace.PackV2, 1, false)
+	nu := run(trace.PackV3, shards, true)
+
+	speedup := nu.EventsPerSec / baseline.EventsPerSec
+	if speedup < 2 {
+		t.Errorf("v3+sharded engine %.0f ev/s vs v2+flat %.0f ev/s: %.2fx, want >= 2x",
+			nu.EventsPerSec, baseline.EventsPerSec, speedup)
+	}
+	if nu.WireBytes >= baseline.WireBytes {
+		t.Errorf("v3 wire %d >= v2 wire %d on a long stream: the dictionary is not paying",
+			nu.WireBytes, baseline.WireBytes)
+	}
+	if nu.FusedPacks == 0 {
+		t.Error("no packs took the fused path")
+	}
+
+	if !record {
+		return
+	}
+	rec := benchRecordPR7{
+		Benchmark:       "TestRecordRawSpeedBench",
+		Workload:        "Fig14, 8 writers x 200k events, pre-encoded",
+		GoVersion:       runtime.Version(),
+		NumCPU:          runtime.NumCPU(),
+		Baseline:        baseline,
+		New:             nu,
+		FusedOneShard:   run(trace.PackV3, 1, true),
+		V2Sharded:       run(trace.PackV2, shards, false),
+		SpeedupX:        speedup,
+		WireRatioV3toV2: float64(nu.WireBytes) / float64(baseline.WireBytes),
+	}
+	buf, err := json.MarshalIndent(&rec, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll("results", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("results/BENCH_PR7.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote results/BENCH_PR7.json (%.2fx: %.0f -> %.0f ev/s)",
+		speedup, baseline.EventsPerSec, nu.EventsPerSec)
+}

@@ -55,6 +55,8 @@ func main() {
 		telFlag      = flag.Bool("telemetry", false, "stream engine-health meta-events and append a health chapter + JSON summary")
 		telPeriod    = flag.Duration("telemetry-period", 0, "virtual-time sampling period for -telemetry (0 = 10ms)")
 		packv2Flag   = flag.Bool("packv2", false, "stream event packs in the compact v2 wire format (default: v1 fixed records, the seed behavior)")
+		formatFlag   = flag.Int("format", 0, "pack wire format: 1 (fixed records), 2 (delta+varint) or 3 (stream dictionary, fused analyzer decode); 0 defers to -packv2")
+		shardsFlag   = flag.Int("shards", 0, "blackboard shard count (0 = 1, the single-partition board)")
 		treeLevels   = flag.Int("tree-levels", 0, "analysis tree levels: <=1 flat pipeline, L>=2 adds L-1 aggregator tiers between leaves and the root blackboard")
 		treeFanin    = flag.Int("tree-fanin", 0, "reduction-tree fan-in (0 = 8); only with -tree-levels >= 2")
 		treeFlush    = flag.Int("tree-flush", 0, "ship partial-profile deltas every N packs (0 = only at stream end); only with -tree-levels >= 2")
@@ -78,6 +80,8 @@ func main() {
 		Callsites:        *sitesFlag,
 		Sizes:            *sizesFlag,
 		PackV2:           *packv2Flag,
+		PackVersion:      *formatFlag,
+		Shards:           *shardsFlag,
 		Telemetry:        *telFlag,
 		TelemetryPeriod:  *telPeriod,
 		TreeLevels:       *treeLevels,

@@ -32,6 +32,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/adapt"
@@ -54,6 +56,12 @@ func main() {
 		jFlag        = flag.Int("j", 0, "parallel sweep workers (0 = all cores, 1 = serial); output is identical for any value")
 		telFlag      = flag.Bool("telemetry", false, "re-run the best 1:1 point with engine telemetry and print a JSON health summary")
 		packv2Flag   = flag.Bool("packv2", false, "stream real event packs in the compact v2 wire format (default: size-only v1 blocks, the seed behavior)")
+		formatFlag   = flag.Int("format", 0, "pack wire format: 1 (fixed records), 2 (delta+varint) or 3 (stream dictionary); 0 defers to -packv2")
+		rawFlag      = flag.Bool("rawspeed", false, "single-node raw analysis speed: the v2+flat-board baseline engine vs the v3+sharded fused engine, at host speed")
+		rawWriters   = flag.Int("raw-writers", 8, "writer streams in -rawspeed mode")
+		rawEvents    = flag.Int("raw-events", 200000, "events per writer in -rawspeed mode")
+		cpuProfile   = flag.String("cpuprofile", "", "write a host-side CPU profile of the run to this file")
+		memProfile   = flag.String("memprofile", "", "write a host-side heap profile to this file at exit")
 		treeFlag     = flag.String("tree", "", "reduction-tree ingest sweep over these applications (NAME.CLASS@PROCS[,...]) instead of the Figure 14 stream sweep")
 		treeLevels   = flag.String("tree-levels", "2,3", "comma-separated tree level counts for -tree (each >= 2)")
 		treeFanin    = flag.Int("tree-fanin", 0, "reduction-tree fan-in for -tree (0 = 8)")
@@ -85,9 +93,49 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	format := *formatFlag
+	if format == 0 {
+		format = trace.PackV1
+		if *packv2Flag {
+			format = trace.PackV2
+		}
+	}
+	if format < trace.PackV1 || format > trace.PackV3 {
+		log.Fatalf("-format %d: pack formats are 1..3", format)
+	}
 
+	// Host-side profiles cover whatever mode runs below (the simulator and
+	// the analysis engine both execute on this process).
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+
+	if *rawFlag {
+		runRawSpeed(*rawWriters, *rawEvents)
+		return
+	}
 	if *treeFlag != "" {
-		runTreeSweep(platform, *treeFlag, *treeLevels, *treeFanin, *treeFlush, *treeIters, *packv2Flag)
+		runTreeSweep(platform, *treeFlag, *treeLevels, *treeFanin, *treeFlush, *treeIters, format)
 		return
 	}
 	if *overloadFlag != "" {
@@ -97,9 +145,9 @@ func main() {
 
 	start := time.Now()
 	var points []exp.StreamPoint
-	if *packv2Flag {
+	if format > trace.PackV1 {
 		// Packed mode: writers encode the deterministic Fig14 workload
-		// through the v2 codec and readers decode every block, so the
+		// through the selected codec and readers decode every block, so the
 		// compression shows up in the simulated GB/s. The stdout table keeps
 		// the Figure 14 format; wire volume and ratio go to stderr.
 		type gridPoint struct{ writers, ratio int }
@@ -113,7 +161,7 @@ func main() {
 		}
 		packed, err := runner.Run(len(grid), *jFlag, func(i int) (exp.PackedStreamPoint, error) {
 			g := grid[i]
-			return exp.StreamThroughputPacked(platform, g.writers, g.ratio, perWriter, block, exp.EventRecordSize, trace.PackV2)
+			return exp.StreamThroughputPacked(platform, g.writers, g.ratio, perWriter, block, exp.EventRecordSize, format)
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -126,8 +174,8 @@ func main() {
 			events += pt.Events
 		}
 		if wire > 0 {
-			fmt.Fprintf(os.Stderr, "streambench: packv2: %d events, %d bytes on wire (logical %d), compression %.2fx (%.1f%% reduction)\n",
-				events, wire, logical, float64(logical)/float64(wire), 100*(1-float64(wire)/float64(logical)))
+			fmt.Fprintf(os.Stderr, "streambench: pack v%d: %d events, %d bytes on wire (logical %d), compression %.2fx (%.1f%% reduction)\n",
+				format, events, wire, logical, float64(logical)/float64(wire), 100*(1-float64(wire)/float64(logical)))
 		}
 	} else {
 		points, err = exp.StreamSweepJ(platform, writers, ratios, perWriter, block, *jFlag)
@@ -172,7 +220,7 @@ func main() {
 // and tree topologies at equal event volume and print each tree's
 // root-ingest reduction against the flat baseline. All analysis modules
 // are on so the partial profiles carry their full table set.
-func runTreeSweep(platform exp.Platform, apps, levels string, fanin, flush, iters int, packv2 bool) {
+func runTreeSweep(platform exp.Platform, apps, levels string, fanin, flush, iters, format int) {
 	specs, err := cliutil.ParseApps(apps)
 	if err != nil {
 		log.Fatal(err)
@@ -202,7 +250,7 @@ func runTreeSweep(platform exp.Platform, apps, levels string, fanin, flush, iter
 		TemporalWindowNs: (10 * time.Millisecond).Nanoseconds(),
 		Callsites:        true,
 		Sizes:            true,
-		PackV2:           packv2,
+		PackVersion:      format,
 	}
 	start := time.Now()
 	points, err := exp.TreeScalingSweep(platform, workloads, base, configs)
@@ -255,4 +303,38 @@ func runOverloadSweep(platform exp.Platform, apps, rate string, iters int) {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "streambench: overload sweep in %.2fs\n", time.Since(start).Seconds())
+}
+
+// runRawSpeed is the -rawspeed mode: both engines analyze the identical
+// pre-encoded Fig14 workload at host speed — the PR7 acceptance
+// measurement, and the workload to point -cpuprofile at when hunting the
+// next bottleneck.
+func runRawSpeed(writers, events int) {
+	shards := runtime.NumCPU()
+	if shards > 8 {
+		shards = 8
+	}
+	base, err := exp.RawAnalysisSpeed(exp.RawSpeedConfig{
+		Writers: writers, EventsPerWriter: events,
+		PackVersion: trace.PackV2, Shards: 1, Fused: false,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	nu, err := exp.RawAnalysisSpeed(exp.RawSpeedConfig{
+		Writers: writers, EventsPerWriter: events,
+		PackVersion: trace.PackV3, Shards: shards, Fused: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("engine                          events    wire bytes   seconds      events/s\n")
+	for _, pt := range []struct {
+		name string
+		p    exp.RawSpeedPoint
+	}{{"v2 + flat board (PR6)", base}, {"v3 + sharded board, fused", nu}} {
+		fmt.Printf("%-28s %9d  %12d  %8.3f  %12.0f\n",
+			pt.name, pt.p.Events, pt.p.WireBytes, pt.p.Seconds, pt.p.EventsPerSec)
+	}
+	fmt.Printf("\nspeedup: %.2fx analyzed events/s\n", nu.EventsPerSec/base.EventsPerSec)
 }

@@ -30,6 +30,7 @@ func main() {
 		platformFlag = flag.String("platform", "curie", "platform model (tera100 or curie)")
 		jFlag        = flag.Int("j", 0, "parallel sweep workers (0 = all cores, 1 = serial); output is identical for any value")
 		packv2Flag   = flag.Bool("packv2", false, "online tool streams packs in the compact v2 wire format (default: v1 fixed records, the seed behavior)")
+		formatFlag   = flag.Int("format", 0, "online tool pack wire format: 1, 2 or 3; 0 defers to -packv2")
 	)
 	flag.Parse()
 
@@ -42,9 +43,15 @@ func main() {
 		log.Fatal(err)
 	}
 
-	packVersion := trace.PackV1
-	if *packv2Flag {
-		packVersion = trace.PackV2
+	packVersion := *formatFlag
+	if packVersion == 0 {
+		packVersion = trace.PackV1
+		if *packv2Flag {
+			packVersion = trace.PackV2
+		}
+	}
+	if packVersion < trace.PackV1 || packVersion > trace.PackV3 {
+		log.Fatalf("-format %d: pack formats are 1..3", packVersion)
 	}
 	points, err := exp.Fig16SweepJV(platform, procs, *itersFlag, *jFlag, packVersion)
 	if err != nil {
@@ -52,7 +59,7 @@ func main() {
 	}
 	exp.WriteOverheadTable(os.Stdout,
 		fmt.Sprintf("Figure 16: SP.D tool comparison on %s", platform.Name), points)
-	if *packv2Flag {
+	if packVersion > trace.PackV1 {
 		var wire, logical int64
 		for _, pt := range points {
 			if pt.Tool == exp.ToolOnline {
@@ -61,8 +68,8 @@ func main() {
 			}
 		}
 		if wire > 0 && logical > 0 {
-			fmt.Fprintf(os.Stderr, "packv2: online tool %d bytes on wire (logical %d), compression %.2fx (%.1f%% reduction)\n",
-				wire, logical, float64(logical)/float64(wire), 100*(1-float64(wire)/float64(logical)))
+			fmt.Fprintf(os.Stderr, "pack v%d: online tool %d bytes on wire (logical %d), compression %.2fx (%.1f%% reduction)\n",
+				packVersion, wire, logical, float64(logical)/float64(wire), 100*(1-float64(wire)/float64(logical)))
 		}
 	}
 

@@ -293,9 +293,18 @@ func (c *Controller) decide(level int) {
 		// Byte-bound overload: the compact columns buy wire bytes (DESIGN
 		// §9's v2-wins regime; the v2-loses cases — tiny packs, high
 		// entropy — do not arise here because overload implies full packs
-		// of regular traffic). Coarser flush cadence cuts the partial
-		// traffic competing with data for the analyzer.
-		c.packVersion.Store(int32(trace.PackV2))
+		// of regular traffic). Deeper overload (level >= 2) moves to the
+		// v3 per-stream dictionary: a sustained overloaded stream is long
+		// by definition, exactly the regime where amortizing the
+		// dictionary across packs wins (DESIGN §13); v2 stays the level-1
+		// choice so a brief spike never pays v3's short-stream overhead.
+		// Coarser flush cadence cuts the partial traffic competing with
+		// data for the analyzer.
+		if level >= 2 {
+			c.packVersion.Store(int32(trace.PackV3))
+		} else {
+			c.packVersion.Store(int32(trace.PackV2))
+		}
 		base := c.cfg.BaseFlushPacks
 		if base <= 0 {
 			base = 4

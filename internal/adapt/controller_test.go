@@ -81,8 +81,8 @@ func TestControllerEscalatesOnStalls(t *testing.T) {
 	if c.MaxLevelSeen() != 4 || c.Escalations() != 4 {
 		t.Fatalf("maxSeen %d escalations %d", c.MaxLevelSeen(), c.Escalations())
 	}
-	if c.PackVersion() != trace.PackV2 {
-		t.Fatal("escalated controller still streaming v1")
+	if c.PackVersion() != trace.PackV3 {
+		t.Fatalf("deep-overload controller streaming v%d, want the v3 stream dictionary", c.PackVersion())
 	}
 	if last := w.reqs[len(w.reqs)-1]; last != 8 {
 		t.Fatalf("window under overload %d, want 8", last)

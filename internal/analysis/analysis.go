@@ -15,6 +15,7 @@ package analysis
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/blackboard"
@@ -68,6 +69,17 @@ type Pipeline struct {
 	mu       sync.Mutex
 	finished bool
 	onFinish []func()
+
+	// folds lists every event consumer (the same Add functions the event
+	// KSs wrap), and foldFn is the published fused dispatcher over them:
+	// the zero-materialization path calls it once per decoded event,
+	// straight from the stream decoder's in-place scratch. Keeping folds
+	// in lockstep with event-KS registration (registerEventKS is the only
+	// writer) is the fused-dispatch invariant: both paths feed the exact
+	// same module set, so profiles are byte-identical either way.
+	foldMu sync.Mutex
+	folds  []func(*trace.Event)
+	foldFn atomic.Pointer[func(*trace.Event)]
 
 	// codec, when attached, accounts each unpacked pack's event count and
 	// wall-clock unpack time. Set it before the first pack is posted; the
@@ -129,22 +141,13 @@ func NewPipeline(bb *blackboard.Blackboard, level string, appSize int) (*Pipelin
 		return nil, err
 	}
 
-	register := func(name string, add func(*trace.Event)) error {
-		return bb.Register(blackboard.KS{
-			Name:          name + "@" + level,
-			Sensitivities: []blackboard.Type{eventT},
-			Op: func(_ *blackboard.Blackboard, in []*blackboard.Entry) {
-				add(in[0].Payload.(*trace.Event))
-			},
-		})
-	}
-	if err := register("profiler", p.Profiler.Add); err != nil {
+	if err := p.registerEventKS("profiler", p.Profiler.Add); err != nil {
 		return nil, err
 	}
-	if err := register("topology", p.Topology.Add); err != nil {
+	if err := p.registerEventKS("topology", p.Topology.Add); err != nil {
 		return nil, err
 	}
-	if err := register("density", p.Density.Add); err != nil {
+	if err := p.registerEventKS("density", p.Density.Add); err != nil {
 		return nil, err
 	}
 
@@ -164,6 +167,60 @@ func NewPipeline(bb *blackboard.Blackboard, level string, appSize int) (*Pipelin
 		return nil, err
 	}
 	return p, nil
+}
+
+// registerEventKS registers an event-sensitive knowledge source wrapping
+// add, and appends add to the fused fold list. Every event consumer goes
+// through here — it is what keeps the board path and the fused path
+// feeding identical module sets.
+func (p *Pipeline) registerEventKS(name string, add func(*trace.Event)) error {
+	err := p.bb.Register(blackboard.KS{
+		Name:          name + "@" + p.level,
+		Sensitivities: []blackboard.Type{blackboard.TypeID(p.level, TypeEvent)},
+		Op: func(_ *blackboard.Blackboard, in []*blackboard.Entry) {
+			add(in[0].Payload.(*trace.Event))
+		},
+	})
+	if err != nil {
+		return err
+	}
+	p.foldMu.Lock()
+	p.folds = append(p.folds, add)
+	folds := p.folds
+	fn := func(e *trace.Event) {
+		for _, f := range folds {
+			f(e)
+		}
+	}
+	p.foldFn.Store(&fn)
+	p.foldMu.Unlock()
+	return nil
+}
+
+// FoldPack is the fused decode→dispatch path: it decodes one pack
+// through the caller's per-writer stream decoder and folds every event
+// straight into the pipeline's modules — no per-event trace.Event copy,
+// no intermediate blackboard entries, no job scheduling. The modules'
+// own mutexes provide the concurrency safety the board otherwise would.
+// Codec telemetry accounts the pack exactly like the unpacker KS does.
+// Returns the event count.
+func (p *Pipeline) FoldPack(dec *trace.StreamDecoder, buf []byte) (int, error) {
+	fn := p.foldFn.Load()
+	if fn == nil {
+		return 0, fmt.Errorf("analysis: pipeline %q has no event consumers", p.level)
+	}
+	var t0 time.Time
+	if p.codec != nil {
+		t0 = time.Now()
+	}
+	n, err := dec.DecodeDispatch(buf, *fn)
+	if err != nil {
+		return n, fmt.Errorf("analysis: undecodable pack on level %q: %w", p.level, err)
+	}
+	if p.codec != nil {
+		p.codec.OnDecode(n, time.Since(t0).Nanoseconds())
+	}
+	return n, nil
 }
 
 // Level returns the pipeline's level name.
@@ -221,6 +278,14 @@ func NewDispatcher(bb *blackboard.Blackboard) (*Dispatcher, error) {
 			if p == nil {
 				panic(fmt.Sprintf("analysis: pack for unregistered app id %d", h.AppID))
 			}
+			if h.Version == trace.PackV3 {
+				// v3 packs need per-writer decode order, which the board's
+				// worker pool deliberately does not preserve. Reaching this
+				// KS means a caller routed a v3 pack through PostRaw
+				// instead of FusedIngest.Absorb — fail loudly before a
+				// dictionary gap mis-attributes events downstream.
+				panic(fmt.Sprintf("analysis: v3 pack for app %d posted to the blackboard; v3 requires ordered stream ingest (FusedIngest)", h.AppID))
+			}
 			if h.Version == trace.PackAudit {
 				// A recorder's shed ledger rides the data stream; it feeds
 				// the completeness accounting, not the event pipeline.
@@ -265,6 +330,71 @@ func (d *Dispatcher) Pipeline(appID uint32) *Pipeline {
 func (d *Dispatcher) PostRaw(buf []byte) {
 	d.bb.Post(blackboard.TypeID("", TypeRawPack), int64(len(buf)), buf)
 }
+
+// FusedIngest is the analyzer-side entry point for v3 streams: one
+// stateful trace.StreamDecoder per writer, fused decode→fold on the
+// ingest goroutine, and transparent fallback to the blackboard path for
+// formats that need no cross-pack state. It exists because v3 packs must
+// decode in per-writer emission order — an ordering the stream layer
+// guarantees at the ingest loop and the board's worker pool does not.
+//
+// Concurrency contract: distinct sources may be absorbed concurrently
+// (the decoder map is locked, the analysis modules lock themselves), but
+// each source's packs must be absorbed serially in delivery order —
+// which is exactly how a stream read loop behaves.
+type FusedIngest struct {
+	d    *Dispatcher
+	mu   sync.Mutex
+	decs map[int]*trace.StreamDecoder
+
+	fusedPacks  atomic.Int64
+	fusedEvents atomic.Int64
+}
+
+// NewFusedIngest wraps a dispatcher with per-writer v3 decode state.
+func NewFusedIngest(d *Dispatcher) *FusedIngest {
+	return &FusedIngest{d: d, decs: make(map[int]*trace.StreamDecoder)}
+}
+
+// Absorb routes one pack from writer src. v3 packs are decoded through
+// the writer's persistent dictionary and folded synchronously into the
+// application's modules; the return reports the buffer was consumed (the
+// caller may recycle it). v1, v2 and audit packs go to the board via
+// PostRaw — the board then owns the buffer — and consumed is false.
+func (f *FusedIngest) Absorb(src int, buf []byte) (consumed bool, err error) {
+	h, err := trace.PeekHeader(buf)
+	if err != nil {
+		return false, fmt.Errorf("analysis: undecodable raw pack from src %d: %w", src, err)
+	}
+	if h.Version != trace.PackV3 {
+		f.d.PostRaw(buf)
+		return false, nil
+	}
+	p := f.d.Pipeline(h.AppID)
+	if p == nil {
+		return false, fmt.Errorf("analysis: v3 pack for unregistered app id %d", h.AppID)
+	}
+	f.mu.Lock()
+	dec := f.decs[src]
+	if dec == nil {
+		dec = &trace.StreamDecoder{}
+		f.decs[src] = dec
+	}
+	f.mu.Unlock()
+	n, err := p.FoldPack(dec, buf)
+	if err != nil {
+		return true, err
+	}
+	f.fusedPacks.Add(1)
+	f.fusedEvents.Add(int64(n))
+	return true, nil
+}
+
+// FusedPacks returns how many packs took the fused path.
+func (f *FusedIngest) FusedPacks() int64 { return f.fusedPacks.Load() }
+
+// FusedEvents returns how many events were folded on the fused path.
+func (f *FusedIngest) FusedEvents() int64 { return f.fusedEvents.Load() }
 
 // PartialOptions derives the Partial module selection matching the
 // pipeline's enabled modules, so leaf partials and the root pipeline

@@ -4,7 +4,6 @@ import (
 	"sort"
 	"sync"
 
-	"repro/internal/blackboard"
 	"repro/internal/trace"
 )
 
@@ -136,14 +135,7 @@ func (m *CallsiteModule) Merge(o *CallsiteModule) {
 // returns its module.
 func (p *Pipeline) EnableCallsites() (*CallsiteModule, error) {
 	m := NewCallsiteModule()
-	err := p.bb.Register(blackboard.KS{
-		Name:          "callsites@" + p.level,
-		Sensitivities: []blackboard.Type{blackboard.TypeID(p.level, TypeEvent)},
-		Op: func(_ *blackboard.Blackboard, in []*blackboard.Entry) {
-			m.Add(in[0].Payload.(*trace.Event))
-		},
-	})
-	if err != nil {
+	if err := p.registerEventKS("callsites", m.Add); err != nil {
 		return nil, err
 	}
 	p.callsites = m

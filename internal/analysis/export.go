@@ -5,7 +5,6 @@ import (
 	"io"
 	"sync"
 
-	"repro/internal/blackboard"
 	"repro/internal/otf2lite"
 	"repro/internal/trace"
 )
@@ -124,14 +123,7 @@ func (m *ExportModule) WriteArchive(w io.Writer) error {
 // its module. name distinguishes several exporters on one level.
 func (p *Pipeline) EnableExport(name string, filter func(*trace.Event) bool) (*ExportModule, error) {
 	m := NewExportModule(0, filter)
-	err := p.bb.Register(blackboard.KS{
-		Name:          "export-" + name + "@" + p.level,
-		Sensitivities: []blackboard.Type{blackboard.TypeID(p.level, TypeEvent)},
-		Op: func(_ *blackboard.Blackboard, in []*blackboard.Entry) {
-			m.Add(in[0].Payload.(*trace.Event))
-		},
-	})
-	if err != nil {
+	if err := p.registerEventKS("export-"+name, m.Add); err != nil {
 		return nil, err
 	}
 	return m, nil

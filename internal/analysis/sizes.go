@@ -3,7 +3,6 @@ package analysis
 import (
 	"sync"
 
-	"repro/internal/blackboard"
 	"repro/internal/trace"
 )
 
@@ -124,14 +123,7 @@ func (m *SizesModule) Merge(o *SizesModule) {
 // level and returns its module.
 func (p *Pipeline) EnableSizes() (*SizesModule, error) {
 	m := NewSizesModule()
-	err := p.bb.Register(blackboard.KS{
-		Name:          "sizes@" + p.level,
-		Sensitivities: []blackboard.Type{blackboard.TypeID(p.level, TypeEvent)},
-		Op: func(_ *blackboard.Blackboard, in []*blackboard.Entry) {
-			m.Add(in[0].Payload.(*trace.Event))
-		},
-	})
-	if err != nil {
+	if err := p.registerEventKS("sizes", m.Add); err != nil {
 		return nil, err
 	}
 	p.sizes = m

@@ -3,7 +3,6 @@ package analysis
 import (
 	"sync"
 
-	"repro/internal/blackboard"
 	"repro/internal/trace"
 )
 
@@ -176,14 +175,7 @@ func (m *TemporalModule) Merge(o *TemporalModule) {
 // returns its module.
 func (p *Pipeline) EnableTemporal(windowNs int64) (*TemporalModule, error) {
 	m := NewTemporalModule(windowNs)
-	err := p.bb.Register(blackboard.KS{
-		Name:          "temporal@" + p.level,
-		Sensitivities: []blackboard.Type{blackboard.TypeID(p.level, TypeEvent)},
-		Op: func(_ *blackboard.Blackboard, in []*blackboard.Entry) {
-			m.Add(in[0].Payload.(*trace.Event))
-		},
-	})
-	if err != nil {
+	if err := p.registerEventKS("temporal", m.Add); err != nil {
 		return nil, err
 	}
 	p.temporal = m

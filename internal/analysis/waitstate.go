@@ -4,7 +4,6 @@ import (
 	"sort"
 	"sync"
 
-	"repro/internal/blackboard"
 	"repro/internal/trace"
 )
 
@@ -350,14 +349,7 @@ func mergeSorted[T any](a, b []T, less func(x, y T) bool) []T {
 // state proportional to in-flight messages.
 func (p *Pipeline) EnableWaitState() (*WaitStateModule, error) {
 	m := NewWaitStateModule(p.Profiler.size)
-	err := p.bb.Register(blackboard.KS{
-		Name:          "waitstate@" + p.level,
-		Sensitivities: []blackboard.Type{blackboard.TypeID(p.level, TypeEvent)},
-		Op: func(_ *blackboard.Blackboard, in []*blackboard.Entry) {
-			m.Add(in[0].Payload.(*trace.Event))
-		},
-	})
-	if err != nil {
+	if err := p.registerEventKS("waitstate", m.Add); err != nil {
 		return nil, err
 	}
 	p.waits = m

@@ -27,6 +27,17 @@
 //     together, so identical KSs and data types coexist per level
 //     (paper Figure 5).
 //
+// The board is partitioned: types hash to independent shards, each with
+// its own published sensitivity map, job FIFOs, and worker subset, so
+// posts on disjoint types share no locks and no counters beyond the
+// global delivery ledger. Since a Type already hashes level and name
+// together, the shard function is a mix of the type identifier — the
+// paper's hash(level ⊕ type). A KS whose sensitivities span shards is
+// simply listed in each one's map; its slot state is its own (per-KS
+// mutex), so cross-shard sensitivity sets still assemble complete input
+// jobs. With Shards: 1 (the default) the engine is the original flat
+// board.
+//
 // KSs may register or remove KSs — including themselves — at runtime,
 // which is the paper's simplified form of opportunistic reasoning.
 package blackboard
@@ -120,6 +131,14 @@ type ksState struct {
 	ks   KS
 	mu   sync.Mutex
 	pend [][]*Entry // one FIFO per sensitivity slot
+	// slots indexes the sensitivity slots by type, precomputed at
+	// registration: offer walks only the slots matching the entry instead
+	// of re-scanning the whole sensitivity list per post.
+	slots map[Type][]int
+	// dead flags a state removed from the board (TakeKS) whose pointer may
+	// survive in a published listener snapshot: offers after removal are
+	// discarded, never parked on slots nobody will ever drain.
+	dead bool
 	jobs atomic.Int64
 	// lat is the KS's wall-clock job latency histogram, resolved once at
 	// Register time when telemetry is attached (nil otherwise — workers
@@ -137,10 +156,16 @@ type job struct {
 type Config struct {
 	// Workers is the worker pool size (default: 4).
 	Workers int
-	// Queues is the number of job FIFOs (default: 2×Workers).
+	// Queues is the total number of job FIFOs across all shards
+	// (default: 2×Workers).
 	Queues int
 	// Seed seeds the queue-selection randomness.
 	Seed int64
+	// Shards is the number of independent board partitions (default: 1,
+	// the flat board). Types hash to shards; posts on types of different
+	// shards touch no common mutable state. Clamped to Workers so every
+	// shard owns at least one worker.
+	Shards int
 }
 
 // Stats is a snapshot of engine counters.
@@ -163,18 +188,43 @@ type Stats struct {
 	Dropped int64
 }
 
-// Blackboard is the parallel engine. Create with New, stop with Close.
-type Blackboard struct {
-	mu     sync.RWMutex
-	bySens map[Type][]*ksState
-	byName map[string]*ksState
+// sensMap is a published, immutable sensitivity table: readers load it
+// through an atomic pointer and never lock; registration clones, edits
+// and republishes (copy-on-write), cloning the listener slice of every
+// type it touches so published slices are immutable too.
+type sensMap = map[Type][]*ksState
 
-	queues []jobFIFO
-
-	queued   atomic.Int64 // jobs sitting in FIFOs
-	inflight atomic.Int64 // queued + executing jobs
+// shard is one independent partition of the board: its own sensitivity
+// table, job FIFOs, idle bookkeeping and queue-selection seed. Workers
+// are bound to a shard and sweep only its FIFOs.
+type shard struct {
+	sens     atomic.Pointer[sensMap]
+	queues   []jobFIFO
+	queued   atomic.Int64 // jobs sitting in this shard's FIFOs
 	idleMu   sync.Mutex
 	idleCond *sync.Cond
+	seed     atomic.Int64
+}
+
+// nextRand is a tiny splitmix step: cheap, lock-free queue selection.
+func (sh *shard) nextRand() uint64 {
+	z := uint64(sh.seed.Add(-0x61c8864680b583eb)) // += 0x9e3779b97f4a7c15 (two's complement)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Blackboard is the parallel engine. Create with New, stop with Close.
+type Blackboard struct {
+	// regMu serializes registration changes (rare); the hot path never
+	// takes it — posts read the shards' published tables lock-free.
+	regMu  sync.RWMutex
+	byName map[string]*ksState
+
+	shards []*shard
+
+	queued   atomic.Int64 // total queued jobs (telemetry gauge)
+	inflight atomic.Int64 // queued + executing jobs
 	drainMu  sync.Mutex
 	drain    *sync.Cond
 	closed   atomic.Bool
@@ -189,8 +239,6 @@ type Blackboard struct {
 	// tel mirrors the counters into a telemetry bundle when attached. An
 	// atomic pointer because workers read it concurrently with SetTelemetry.
 	tel atomic.Pointer[telemetry.BoardMetrics]
-
-	seed atomic.Int64
 }
 
 // SetTelemetry attaches a telemetry bundle (nil detaches). Attach before
@@ -233,19 +281,49 @@ func New(cfg Config) *Blackboard {
 	if cfg.Queues <= 0 {
 		cfg.Queues = 2 * cfg.Workers
 	}
-	bb := &Blackboard{
-		bySens: make(map[Type][]*ksState),
-		byName: make(map[string]*ksState),
-		queues: make([]jobFIFO, cfg.Queues),
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
 	}
-	bb.idleCond = sync.NewCond(&bb.idleMu)
+	if cfg.Shards > cfg.Workers {
+		cfg.Shards = cfg.Workers
+	}
+	perShard := cfg.Queues / cfg.Shards
+	if perShard < 1 {
+		perShard = 1
+	}
+	bb := &Blackboard{
+		byName: make(map[string]*ksState),
+		shards: make([]*shard, cfg.Shards),
+	}
+	for i := range bb.shards {
+		sh := &shard{queues: make([]jobFIFO, perShard)}
+		sh.idleCond = sync.NewCond(&sh.idleMu)
+		// Distinct streams per shard; the odd stride keeps them apart for
+		// any user seed.
+		sh.seed.Store(cfg.Seed + int64(i)*0x9e3779b9)
+		empty := make(sensMap)
+		sh.sens.Store(&empty)
+		bb.shards[i] = sh
+	}
 	bb.drain = sync.NewCond(&bb.drainMu)
-	bb.seed.Store(cfg.Seed)
 	bb.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
-		go bb.worker(i)
+		go bb.worker(i, bb.shards[i%cfg.Shards])
 	}
 	return bb
+}
+
+// shardOf maps a type to its owning shard. TypeID is already an FNV hash
+// of level and name, so a cheap avalanche over it spreads types evenly.
+func (bb *Blackboard) shardOf(t Type) *shard {
+	if len(bb.shards) == 1 {
+		return bb.shards[0]
+	}
+	x := uint64(t)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return bb.shards[x%uint64(len(bb.shards))]
 }
 
 // Register adds a knowledge source. It may be called concurrently,
@@ -260,20 +338,42 @@ func (bb *Blackboard) Register(ks KS) error {
 	if ks.Op == nil {
 		return fmt.Errorf("blackboard: KS %q has no operation", ks.Name)
 	}
-	st := &ksState{ks: ks, pend: make([][]*Entry, len(ks.Sensitivities))}
+	st := &ksState{
+		ks:    ks,
+		pend:  make([][]*Entry, len(ks.Sensitivities)),
+		slots: make(map[Type][]int, len(ks.Sensitivities)),
+	}
+	for i, t := range ks.Sensitivities {
+		st.slots[t] = append(st.slots[t], i)
+	}
 	st.lat = bb.tel.Load().KSLatency(ks.Name)
-	bb.mu.Lock()
-	defer bb.mu.Unlock()
+	bb.regMu.Lock()
+	defer bb.regMu.Unlock()
 	if _, dup := bb.byName[ks.Name]; dup {
 		return fmt.Errorf("blackboard: KS %q already registered", ks.Name)
 	}
 	bb.byName[ks.Name] = st
-	seen := map[Type]bool{}
-	for _, t := range ks.Sensitivities {
-		if !seen[t] {
-			bb.bySens[t] = append(bb.bySens[t], st)
-			seen[t] = true
+	// Republish each shard's table once, appending st under every distinct
+	// type it listens to (slots already de-duplicates).
+	perShard := make(map[*shard][]Type)
+	for t := range st.slots {
+		sh := bb.shardOf(t)
+		perShard[sh] = append(perShard[sh], t)
+	}
+	for sh, types := range perShard {
+		old := *sh.sens.Load()
+		next := make(sensMap, len(old)+len(types))
+		for k, v := range old {
+			next[k] = v
 		}
+		for _, t := range types {
+			cur := next[t]
+			nl := make([]*ksState, len(cur)+1)
+			copy(nl, cur)
+			nl[len(cur)] = st
+			next[t] = nl
+		}
+		sh.sens.Store(&next)
 	}
 	return nil
 }
@@ -298,8 +398,8 @@ func (bb *Blackboard) Unregister(name string) {
 
 // Registered reports whether a KS with the given name is on the board.
 func (bb *Blackboard) Registered(name string) bool {
-	bb.mu.RLock()
-	defer bb.mu.RUnlock()
+	bb.regMu.RLock()
+	defer bb.regMu.RUnlock()
 	_, ok := bb.byName[name]
 	return ok
 }
@@ -316,6 +416,13 @@ func (bb *Blackboard) Post(t Type, size int64, payload any) {
 // unreachable and reclaimed by the garbage collector (the paper frees the
 // buffer explicitly — Go's GC plays that role here, with the refcount
 // still governing writability).
+//
+// The hot path is lock-free up to the matched KSs' slot mutexes: the
+// shard's sensitivity table is an immutable published map (registration
+// republishes a clone), so the lookup takes no lock and the listener list
+// needs no defensive copy. Registration during posting affects later
+// posts only — same snapshot semantics the flat board had, now without
+// the per-post allocation.
 func (bb *Blackboard) PostEntry(e *Entry) {
 	if bb.closed.Load() {
 		// A stopped board drops rather than panics: late posts are
@@ -328,13 +435,8 @@ func (bb *Blackboard) PostEntry(e *Entry) {
 	}
 	bb.posted.Add(1)
 	bb.tel.Load().OnPost()
-	bb.mu.RLock()
-	listeners := bb.bySens[e.Type]
-	// Snapshot: registration during posting affects later posts only.
-	if len(listeners) > 0 {
-		listeners = append([]*ksState(nil), listeners...)
-	}
-	bb.mu.RUnlock()
+	sh := bb.shardOf(e.Type)
+	listeners := (*sh.sens.Load())[e.Type]
 	for _, st := range listeners {
 		e.Retain()
 		inputs, ok := st.offer(e)
@@ -346,7 +448,7 @@ func (bb *Blackboard) PostEntry(e *Entry) {
 			continue
 		}
 		if inputs != nil {
-			bb.push(job{st: st, inputs: inputs})
+			bb.push(sh, job{st: st, inputs: inputs})
 		}
 	}
 	e.Release() // the board consumed the caller's reference
@@ -358,18 +460,23 @@ func (bb *Blackboard) PostEntry(e *Entry) {
 func (st *ksState) offer(e *Entry) ([]*Entry, bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if st.dead {
+		// The published snapshot raced with TakeKS: the state is off the
+		// board and nobody will ever drain its slots. Parking the entry
+		// would leak it; discard instead (Release is atomic, safe under
+		// st.mu).
+		e.Release()
+		return nil, false
+	}
 	best := -1
-	for i, t := range st.ks.Sensitivities {
-		if t != e.Type {
-			continue
-		}
+	for _, i := range st.slots[e.Type] {
 		if best < 0 || len(st.pend[i]) < len(st.pend[best]) {
 			best = i
 		}
 	}
 	if best < 0 {
 		// Listener snapshot raced with a re-registration under the same
-		// name; drop the reference (Release is atomic, safe under st.mu).
+		// name and the replacement does not match this type.
 		e.Release()
 		return nil, false
 	}
@@ -387,39 +494,34 @@ func (st *ksState) offer(e *Entry) ([]*Entry, bool) {
 	return inputs, true
 }
 
-// push enqueues a job on a random FIFO and wakes a worker. The queued
-// counter is raised before the signal and checked by workers under idleMu,
-// so a signal can never be lost between a failed sweep and the wait.
-func (bb *Blackboard) push(j job) {
+// push enqueues a job on a random FIFO of the shard that triggered it and
+// wakes one of the shard's workers. The queued counter is raised before
+// the signal and checked by workers under the shard's idleMu, so a signal
+// can never be lost between a failed sweep and the wait.
+func (bb *Blackboard) push(sh *shard, j job) {
 	bb.inflight.Add(1)
-	qi := int(bb.nextRand() % uint64(len(bb.queues)))
-	q := &bb.queues[qi]
+	qi := int(sh.nextRand() % uint64(len(sh.queues)))
+	q := &sh.queues[qi]
 	q.mu.Lock()
 	q.jobs = append(q.jobs, j)
 	q.mu.Unlock()
+	sh.queued.Add(1)
 	bb.tel.Load().QueueDepth(bb.queued.Add(1))
-	bb.idleMu.Lock()
-	bb.idleCond.Signal()
-	bb.idleMu.Unlock()
+	sh.idleMu.Lock()
+	sh.idleCond.Signal()
+	sh.idleMu.Unlock()
 }
 
-// nextRand is a tiny splitmix step: cheap, lock-free queue selection.
-func (bb *Blackboard) nextRand() uint64 {
-	z := uint64(bb.seed.Add(-0x61c8864680b583eb)) // += 0x9e3779b97f4a7c15 (two's complement)
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
-
-// steal sweeps the FIFOs from a random starting point.
-func (bb *Blackboard) steal(rng *rand.Rand) (job, bool) {
-	n := len(bb.queues)
+// steal sweeps the shard's FIFOs from a random starting point.
+func (bb *Blackboard) steal(sh *shard, rng *rand.Rand) (job, bool) {
+	n := len(sh.queues)
 	start := rng.Intn(n)
 	for k := 0; k < n; k++ {
-		q := &bb.queues[(start+k)%n]
+		q := &sh.queues[(start+k)%n]
 		q.mu.Lock()
 		if j, ok := q.pop(); ok {
 			q.mu.Unlock()
+			sh.queued.Add(-1)
 			bb.tel.Load().QueueDepth(bb.queued.Add(-1))
 			return j, true
 		}
@@ -428,28 +530,29 @@ func (bb *Blackboard) steal(rng *rand.Rand) (job, bool) {
 	return job{}, false
 }
 
-func (bb *Blackboard) worker(id int) {
+func (bb *Blackboard) worker(id int, sh *shard) {
 	defer bb.wg.Done()
 	rng := rand.New(rand.NewSource(int64(id)*0x9e37 + 1))
 	for {
-		j, ok := bb.steal(rng)
+		j, ok := bb.steal(sh, rng)
 		if !ok {
 			// Back-off: wait for a push instead of spinning over the
-			// locks (paper §III-B). Re-checking the queued counter under
-			// idleMu makes the wait race-free against push's signal.
+			// locks (paper §III-B). Re-checking the shard's queued counter
+			// under its idleMu makes the wait race-free against push's
+			// signal.
 			bb.backoffs.Add(1)
 			bb.tel.Load().OnBackoff(id)
-			bb.idleMu.Lock()
+			sh.idleMu.Lock()
 			if bb.closed.Load() {
-				bb.idleMu.Unlock()
+				sh.idleMu.Unlock()
 				return
 			}
-			if bb.queued.Load() > 0 {
-				bb.idleMu.Unlock()
+			if sh.queued.Load() > 0 {
+				sh.idleMu.Unlock()
 				continue
 			}
-			bb.idleCond.Wait()
-			bb.idleMu.Unlock()
+			sh.idleCond.Wait()
+			sh.idleMu.Unlock()
 			continue
 		}
 		if j.st.lat != nil {
@@ -490,9 +593,11 @@ func (bb *Blackboard) Drain() {
 func (bb *Blackboard) Close() {
 	bb.Drain()
 	bb.closed.Store(true)
-	bb.idleMu.Lock()
-	bb.idleCond.Broadcast()
-	bb.idleMu.Unlock()
+	for _, sh := range bb.shards {
+		sh.idleMu.Lock()
+		sh.idleCond.Broadcast()
+		sh.idleMu.Unlock()
+	}
 	bb.wg.Wait()
 }
 
@@ -523,9 +628,9 @@ func (bb *Blackboard) Stats() Stats {
 // KSJobs returns how many jobs a named KS has executed (0 for unknown
 // names).
 func (bb *Blackboard) KSJobs(name string) int64 {
-	bb.mu.RLock()
+	bb.regMu.RLock()
 	st, ok := bb.byName[name]
-	bb.mu.RUnlock()
+	bb.regMu.RUnlock()
 	if !ok {
 		return 0
 	}

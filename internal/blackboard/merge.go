@@ -9,24 +9,47 @@ import "sync/atomic"
 // extraction path for fold-style KSs (Reducer), whose final product is
 // by construction a parked entry that never triggers again.
 func (bb *Blackboard) TakeKS(name string) [][]*Entry {
-	bb.mu.Lock()
+	bb.regMu.Lock()
 	st, ok := bb.byName[name]
 	if ok {
 		delete(bb.byName, name)
-		for t, list := range bb.bySens {
-			for i, s := range list {
-				if s == st {
-					bb.bySens[t] = append(list[:i:i], list[i+1:]...)
-					break
+		// Republish each affected shard's table without st. A post may
+		// still hold the previous snapshot; the dead flag below makes its
+		// late offers discard (and ledger) instead of parking forever.
+		perShard := make(map[*shard][]Type)
+		for t := range st.slots {
+			sh := bb.shardOf(t)
+			perShard[sh] = append(perShard[sh], t)
+		}
+		for sh, types := range perShard {
+			old := *sh.sens.Load()
+			next := make(sensMap, len(old))
+			for k, v := range old {
+				next[k] = v
+			}
+			for _, t := range types {
+				cur := next[t]
+				nl := make([]*ksState, 0, len(cur))
+				for _, s := range cur {
+					if s != st {
+						nl = append(nl, s)
+					}
+				}
+				if len(nl) == 0 {
+					delete(next, t)
+				} else {
+					next[t] = nl
 				}
 			}
+			sh.sens.Store(&next)
 		}
 	}
-	bb.mu.Unlock()
+	bb.regMu.Unlock()
 	if !ok {
 		return nil
 	}
 	st.mu.Lock()
+	st.dead = true
 	pend := st.pend
 	st.pend = make([][]*Entry, len(st.ks.Sensitivities))
 	st.mu.Unlock()

@@ -53,7 +53,7 @@ func Fig14Event(i int, rank int32) trace.Event {
 // simulated GB/s directly.
 type PackedStreamPoint struct {
 	StreamPoint
-	// PackVersion is the wire format used (trace.PackV1 or trace.PackV2).
+	// PackVersion is the wire format used (trace.PackV1, PackV2 or PackV3).
 	PackVersion int
 	// WireBytes is the total encoded bytes that crossed the streams
 	// (equals StreamPoint.Bytes).
@@ -168,7 +168,15 @@ func StreamThroughputPacked(p Platform, writers, ratio int, perWriter, blockSize
 				fail(err)
 				return
 			}
+			// v3 packs index a per-writer cross-pack dictionary, so the
+			// reader keeps one persistent StreamDecoder per source rank;
+			// v1/v2 stay on the stateless zero-copy PackReader.
 			var pr trace.PackReader
+			var decs map[int]*trace.StreamDecoder
+			if packVersion == trace.PackV3 {
+				decs = make(map[int]*trace.StreamDecoder)
+			}
+			count := func(*trace.Event) { decoded++ }
 			for {
 				blk, err := st.Read(false)
 				if err != nil {
@@ -177,6 +185,19 @@ func StreamThroughputPacked(p Platform, writers, ratio int, perWriter, blockSize
 				}
 				if blk == nil {
 					break
+				}
+				if decs != nil {
+					dec := decs[blk.From]
+					if dec == nil {
+						dec = &trace.StreamDecoder{}
+						decs[blk.From] = dec
+					}
+					if _, err := dec.DecodeDispatch(blk.Payload, count); err != nil {
+						fail(fmt.Errorf("exp: packed stream block from rank %d: %w", blk.From, err))
+						return
+					}
+					blk.Release()
+					continue
 				}
 				if err := pr.Init(blk.Payload); err != nil {
 					fail(fmt.Errorf("exp: packed stream block from rank %d: %w", blk.From, err))

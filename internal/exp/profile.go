@@ -71,7 +71,16 @@ type ProfileOptions struct {
 	// PackV2 streams events in the compact v2 pack format (delta+varint
 	// columns) instead of fixed records; the analyzer decodes either
 	// format per pack, so this only changes the bytes on the wire.
+	// Superseded by PackVersion; kept for older callers.
 	PackV2 bool
+	// PackVersion selects the pack wire format explicitly: trace.PackV1,
+	// PackV2, or PackV3 (the stream-dictionary format, decoded on the
+	// analyzer's fused ingest path instead of the blackboard). 0 defers
+	// to the PackV2 flag.
+	PackVersion int
+	// Shards partitions the root blackboard by entry type
+	// (0 = blackboard default of 1, the seed's single-partition board).
+	Shards int
 	// Telemetry enables engine self-telemetry: the coupling stack's own
 	// counters (streams, NIC, sinks, blackboard) are sampled into
 	// meta-events, streamed over a dedicated VMPI channel, unpacked by an
@@ -208,6 +217,16 @@ func ProfileRunStats(p Platform, workloads []*nas.Workload, opts ProfileOptions)
 	if packBytes <= 0 {
 		packBytes = StreamBlockSize
 	}
+	packVersion := opts.PackVersion
+	if packVersion == 0 {
+		packVersion = trace.PackV1
+		if opts.PackV2 {
+			packVersion = trace.PackV2
+		}
+	}
+	if packVersion < trace.PackV1 || packVersion > trace.PackV3 {
+		return nil, nil, fmt.Errorf("exp: unknown pack version %d", packVersion)
+	}
 	rate := opts.AnalyzerByteRate
 	if rate <= 0 {
 		rate = AnalyzerByteRate
@@ -254,7 +273,7 @@ func ProfileRunStats(p Platform, workloads []*nas.Workload, opts ProfileOptions)
 		stats.TierIngestBytes = make([]int64, plan.Tiers())
 	}
 
-	bb := blackboard.New(blackboard.Config{Workers: workers})
+	bb := blackboard.New(blackboard.Config{Workers: workers, Shards: opts.Shards})
 	defer bb.Close()
 
 	// Telemetry wiring happens before any KS registration so per-KS
@@ -283,6 +302,10 @@ func ProfileRunStats(p Platform, workloads []*nas.Workload, opts ProfileOptions)
 	if err != nil {
 		return nil, nil, err
 	}
+	// One fused ingest for the whole analyzer partition: per-writer v3
+	// decoders keyed by universe rank, shared safely because rank mains
+	// execute one at a time on the simulator.
+	fused := analysis.NewFusedIngest(disp)
 	if opts.Telemetry {
 		if health, err = analysis.NewEngineHealthKS(bb); err != nil {
 			return nil, nil, err
@@ -352,13 +375,12 @@ func ProfileRunStats(p Platform, workloads []*nas.Workload, opts ProfileOptions)
 					// Real payloads: the analyzer decodes them.
 					SizeOnly: false,
 				}
-				if opts.PackV2 {
-					cfg.PackVersion = trace.PackV2
-				}
+				cfg.PackVersion = packVersion
 				if opts.Adaptive {
-					// Announce the v2 ceiling so the controller may switch
-					// formats mid-run without renegotiating.
-					cfg.AnnouncePackVersion = trace.PackV2
+					// Announce the v3 ceiling so the controller may climb
+					// the whole v1→v2→v3 ladder mid-run without
+					// renegotiating.
+					cfg.AnnouncePackVersion = trace.PackV3
 				}
 				rec, err := instrument.AttachOnline(sess, "Analyzer", cfg)
 				if err != nil {
@@ -446,15 +468,29 @@ func ProfileRunStats(p Platform, workloads []*nas.Workload, opts ProfileOptions)
 			}
 			// absorb handles one incoming pack; finish runs once the data
 			// stream has drained, before the streams close. The flat
-			// pipeline posts the pack on the shared blackboard (real
-			// bytes) and charges the modeled analysis time; tree mode
-			// swaps in the leaf endpoint, which folds packs into partial
-			// profiles locally and ships compacted deltas up the tree.
+			// pipeline routes each pack through the fused ingest: v3
+			// packs decode straight into the modules on this goroutine
+			// (stream delivery preserves the per-writer order the v3
+			// dictionary needs), everything else is posted on the shared
+			// blackboard. Either way the modeled analysis time is
+			// charged; tree mode swaps in the leaf endpoint, which folds
+			// packs into partial profiles locally and ships compacted
+			// deltas up the tree.
 			absorb := func(blk *vmpi.Block) bool {
 				stats.RootIngestBytes += blk.Size
 				stats.RootPosts++
-				disp.PostRaw(blk.Payload)
+				consumed, err := fused.Absorb(blk.From, blk.Payload)
+				if err != nil {
+					fail(err)
+					return false
+				}
 				r.Compute(cost(blk.Size))
+				if consumed {
+					// The fused path folded the events synchronously;
+					// the buffer can go back to the pool. (On the board
+					// path the blackboard owns the payload.)
+					blk.Release()
+				}
 				return true
 			}
 			finish := func() bool { return true }

@@ -134,6 +134,11 @@ type treeLeaf struct {
 	up    *vmpi.Stream
 	parts []*analysis.Partial // indexed by application partition id
 	packs int
+	// decs holds one persistent v3 stream decoder per writer (keyed by
+	// the writer's universe rank): v3 packs index a cross-pack
+	// dictionary, so each writer's stream must decode in order through
+	// its own decoder. The stream read loop delivers exactly that order.
+	decs map[int]*trace.StreamDecoder
 }
 
 func (tc *treeCtx) newLeaf(r *mpi.Rank, sess *vmpi.Session) *treeLeaf {
@@ -141,7 +146,9 @@ func (tc *treeCtx) newLeaf(r *mpi.Rank, sess *vmpi.Session) *treeLeaf {
 	if up == nil {
 		return nil
 	}
-	return &treeLeaf{tc: tc, r: r, up: up, parts: make([]*analysis.Partial, tc.apps)}
+	return &treeLeaf{tc: tc, r: r, up: up,
+		parts: make([]*analysis.Partial, tc.apps),
+		decs:  make(map[int]*trace.StreamDecoder)}
 }
 
 // flush encodes and ships every application's accumulated delta. Settled
@@ -197,17 +204,29 @@ func (lf *treeLeaf) absorb(blk *vmpi.Block) bool {
 		return true
 	}
 	pp := lf.part(h.AppID)
-	var pr trace.PackReader
-	if err := pr.Init(blk.Payload); err != nil {
-		lf.tc.fail(fmt.Errorf("exp: leaf pack decode: %w", err))
-		return false
-	}
-	for pr.Next() {
-		pp.AddEvent(pr.Event())
-	}
-	if err := pr.Err(); err != nil {
-		lf.tc.fail(fmt.Errorf("exp: leaf pack decode: %w", err))
-		return false
+	if h.Version == trace.PackV3 {
+		dec := lf.decs[blk.From]
+		if dec == nil {
+			dec = &trace.StreamDecoder{}
+			lf.decs[blk.From] = dec
+		}
+		if _, err := dec.DecodeDispatch(blk.Payload, pp.AddEvent); err != nil {
+			lf.tc.fail(fmt.Errorf("exp: leaf pack decode: %w", err))
+			return false
+		}
+	} else {
+		var pr trace.PackReader
+		if err := pr.Init(blk.Payload); err != nil {
+			lf.tc.fail(fmt.Errorf("exp: leaf pack decode: %w", err))
+			return false
+		}
+		for pr.Next() {
+			pp.AddEvent(pr.Event())
+		}
+		if err := pr.Err(); err != nil {
+			lf.tc.fail(fmt.Errorf("exp: leaf pack decode: %w", err))
+			return false
+		}
 	}
 	lf.r.Compute(lf.tc.cost(blk.Size))
 	blk.Release()

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/nas"
+	"repro/internal/trace"
 )
 
 // treeTestOpts is the deterministic e2e configuration: every analysis
@@ -54,24 +55,27 @@ func TestTreeProfileMatchesFlat(t *testing.T) {
 	type tc struct {
 		name   string
 		levels int
-		packV2 bool
+		pack   int
 	}
 	cases := []tc{
-		{"flat-v1", 1, false},
-		{"flat-v2", 1, true},
-		{"tree-L2-v1", 2, false}, // one tier: the root is the only aggregator
-		{"tree-L2-v2", 2, true},
-		{"tree-L3-v1", 3, false}, // two tiers: interior aggregators + root
-		{"tree-L3-v2", 3, true},
+		{"flat-v1", 1, trace.PackV1},
+		{"flat-v2", 1, trace.PackV2},
+		{"flat-v3", 1, trace.PackV3},
+		{"tree-L2-v1", 2, trace.PackV1}, // one tier: the root is the only aggregator
+		{"tree-L2-v2", 2, trace.PackV2},
+		{"tree-L2-v3", 2, trace.PackV3},
+		{"tree-L3-v1", 3, trace.PackV1}, // two tiers: interior aggregators + root
+		{"tree-L3-v2", 3, trace.PackV2},
+		{"tree-L3-v3", 3, trace.PackV3},
 	}
-	golden := map[bool]string{}
-	goldenEvents := map[bool]int64{}
-	flatIngest := map[bool]int64{}
+	golden := map[int]string{}
+	goldenEvents := map[int]int64{}
+	flatIngest := map[int]int64{}
 	for _, c := range cases {
 		c := c
 		t.Run(c.name, func(t *testing.T) {
 			opts := treeTestOpts()
-			opts.PackV2 = c.packV2
+			opts.PackVersion = c.pack
 			opts.TreeLevels = c.levels
 			opts.TreeFanin = 2
 			opts.TreeFlushPacks = 4
@@ -83,16 +87,16 @@ func TestTreeProfileMatchesFlat(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if golden[c.packV2] == "" {
-				golden[c.packV2] = fp
-				goldenEvents[c.packV2] = stats.AnalyzedEvents
-				flatIngest[c.packV2] = stats.RootIngestBytes
+			if golden[c.pack] == "" {
+				golden[c.pack] = fp
+				goldenEvents[c.pack] = stats.AnalyzedEvents
+				flatIngest[c.pack] = stats.RootIngestBytes
 			}
-			if fp != golden[c.packV2] {
-				t.Errorf("%s fingerprint %s != golden %s: profile content diverged", c.name, fp[:12], golden[c.packV2][:12])
+			if fp != golden[c.pack] {
+				t.Errorf("%s fingerprint %s != golden %s: profile content diverged", c.name, fp[:12], golden[c.pack][:12])
 			}
-			if stats.AnalyzedEvents != goldenEvents[c.packV2] {
-				t.Errorf("analyzed events = %d, golden %d", stats.AnalyzedEvents, goldenEvents[c.packV2])
+			if stats.AnalyzedEvents != goldenEvents[c.pack] {
+				t.Errorf("analyzed events = %d, golden %d", stats.AnalyzedEvents, goldenEvents[c.pack])
 			}
 			if stats.AnalyzedEvents == 0 {
 				t.Fatal("no events analyzed")
@@ -114,8 +118,8 @@ func TestTreeProfileMatchesFlat(t *testing.T) {
 			// 256-byte v1 records; v2's delta+varint packs are already tiny
 			// here, and the per-flush partial tables dominate. The bench
 			// (BENCH_PR5.json) measures the reduction at realistic volume.
-			if !c.packV2 && stats.RootIngestBytes >= flatIngest[c.packV2] {
-				t.Fatalf("tree root ingest %d >= flat %d: no reduction", stats.RootIngestBytes, flatIngest[c.packV2])
+			if c.pack == trace.PackV1 && stats.RootIngestBytes >= flatIngest[c.pack] {
+				t.Fatalf("tree root ingest %d >= flat %d: no reduction", stats.RootIngestBytes, flatIngest[c.pack])
 			}
 			if stats.TierIngestBytes[0] == 0 {
 				t.Fatal("tier 0 saw no bytes")

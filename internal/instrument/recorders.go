@@ -112,8 +112,9 @@ type OnlineConfig struct {
 	// the encoded buffer is recycled locally instead of being sent.
 	SizeOnly bool
 	// PackVersion selects the pack wire format (0 or trace.PackV1 for the
-	// fixed-record format, trace.PackV2 for delta+varint columns). Writers
-	// using v2 announce it on the stream at open (vmpi format hello).
+	// fixed-record format, trace.PackV2 for delta+varint columns,
+	// trace.PackV3 for the persistent per-stream dictionary). Writers
+	// using v2+ announce it on the stream at open (vmpi format hello).
 	PackVersion int
 	// AnnouncePackVersion announces this format on the stream at open even
 	// when PackVersion starts lower — the ceiling a runtime format switch
@@ -504,7 +505,7 @@ func (o *OnlineRecorder) switchFormat() {
 		return
 	}
 	v := o.packFn()
-	if v == o.version || v < trace.PackV1 || v > trace.PackV2 {
+	if v == o.version || v < trace.PackV1 || v > trace.PackV3 {
 		return
 	}
 	b, err := trace.NewBuilder(v, o.appID, int32(o.sess.LocalRank()), o.recordSize, o.packBytes)

@@ -124,3 +124,70 @@ func TestPackBuilderResetClearsPadding(t *testing.T) {
 		t.Fatalf("decoded %+v, want %+v", evs, ev)
 	}
 }
+
+// TestPackBuilderV3ReuseAllocationFree pins the recycling contract for
+// the v3 builder: once the persistent dictionary and column scratch are
+// warm, the fill → take → reset cycle allocates nothing — the stream
+// dictionary is the whole point, so it must not cost garbage per pack.
+func TestPackBuilderV3ReuseAllocationFree(t *testing.T) {
+	b := NewPackBuilderV3(1, 0, 64, 4096)
+	events := make([]Event, 8)
+	for i := range events {
+		events[i] = fig14ishEvent(i)
+	}
+	// Warm-up: intern the dictionary, size the column scratch and output.
+	i := 0
+	for !b.Add(&events[i%len(events)]) {
+		i++
+	}
+	b.Reset(b.Take())
+	allocs := testing.AllocsPerRun(50, func() {
+		j := 0
+		for !b.Add(&events[j%len(events)]) {
+			j++
+		}
+		buf := b.Take()
+		if buf == nil {
+			t.Error("Take returned nil for a full pack")
+		}
+		b.Reset(buf)
+	})
+	if allocs != 0 {
+		t.Errorf("recycled v3 pack cycle allocated %.1f objects per run, want 0", allocs)
+	}
+}
+
+// TestStreamDecoderFusedAllocationFree pins the fused decode→dispatch
+// contract: once the decoder's dictionary is warm, DecodeDispatch moves
+// events from wire bytes into the fold callback with zero allocations —
+// no materialized records, no intermediate slices.
+func TestStreamDecoderFusedAllocationFree(t *testing.T) {
+	b := NewPackBuilderV3(1, 0, 64, 1<<12)
+	packs := make([][]byte, 0, 8)
+	for i := 0; len(packs) < 4; i++ {
+		ev := fig14ishEvent(i)
+		if b.Add(&ev) {
+			packs = append(packs, b.Take())
+			b.Reset(nil)
+		}
+	}
+	var d StreamDecoder
+	var sum int64
+	fold := func(e *Event) { sum += e.Size }
+	// Warm-up sizes the persistent dictionary.
+	if _, err := d.DecodeDispatch(packs[0], fold); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		for _, p := range packs[1:] {
+			if _, err := d.DecodeDispatch(p, fold); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("fused decode dispatched with %.1f allocations per run, want 0", allocs)
+	}
+	_ = sum
+}

@@ -20,8 +20,11 @@ import (
 //	    12  kept   int64   events admitted by the gate
 const (
 	packMagicAudit = 0x414d5056 // "VPMA" little-endian
-	// PackAudit is the Header.Version reported for audit packs.
-	PackAudit = 3
+	// PackAudit is the Header.Version reported for audit packs. It sits
+	// far outside the negotiable event-pack version space (v1..v3) — the
+	// value never travels on the wire (the magic selects it), it only
+	// dispatches decoded headers.
+	PackAudit = 100
 	// auditEntrySize is the encoded size of one AuditEntry.
 	auditEntrySize = 20
 )

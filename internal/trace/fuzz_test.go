@@ -26,12 +26,29 @@ func FuzzDecodePack(f *testing.F) {
 	}
 	v2 := b2.Take()
 	f.Add(append([]byte(nil), v2...))
+	// Valid v3 packs: a stream opener (dictionary delta) and a follow-up
+	// (empty delta, nonzero base) so the fuzzer mutates both shapes of
+	// the dictionary prefix.
+	b3 := NewPackBuilderV3(1, 2, 48, 1<<12)
+	for i := 0; i < 8; i++ {
+		ev := fig14ishEvent(i)
+		b3.Add(&ev)
+	}
+	v3 := b3.Take()
+	f.Add(append([]byte(nil), v3...))
+	for i := 0; i < 8; i++ {
+		ev := fig14ishEvent(i)
+		b3.Add(&ev)
+	}
+	v3b := b3.Take()
+	f.Add(append([]byte(nil), v3b...))
 	// Truncated variants.
 	f.Add(append([]byte(nil), v1[:len(v1)/2]...))
 	f.Add(append([]byte(nil), v2[:len(v2)/2]...))
 	f.Add(append([]byte(nil), v2[:PackHeaderSize]...))
+	f.Add(append([]byte(nil), v3[:len(v3)/2]...))
 	// Corrupt counts and body lengths.
-	for _, seed := range [][]byte{v1, v2} {
+	for _, seed := range [][]byte{v1, v2, v3} {
 		mut := append([]byte(nil), seed...)
 		binary.LittleEndian.PutUint32(mut[12:], 0xFFFFFFFF)
 		f.Add(append([]byte(nil), mut...))
@@ -45,6 +62,7 @@ func FuzzDecodePack(f *testing.F) {
 	// Bare magics, short buffers.
 	f.Add([]byte{0x56, 0x50, 0x4d, 0x54})
 	f.Add([]byte{0x56, 0x50, 0x4d, 0x32})
+	f.Add([]byte{0x56, 0x50, 0x4d, 0x33})
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -65,11 +83,31 @@ func FuzzDecodePack(f *testing.F) {
 		}
 		var r PackReader
 		if err := r.Init(data); err == nil {
+			if r.Header().Version == PackV3 {
+				t.Fatal("stateless PackReader accepted a v3 pack")
+			}
 			count := 0
 			for r.Next() {
 				count++
 				if count > r.Header().Count {
 					t.Fatal("PackReader yielded more events than the header claims")
+				}
+			}
+		}
+		// The stream decoder must hold the same defensive contract, both
+		// cold (empty dictionary) and after absorbing the input once —
+		// a hostile dictionary delta must never panic, over-read, or
+		// yield more events than the header claims.
+		var d StreamDecoder
+		for pass := 0; pass < 2; pass++ {
+			if err := d.Init(data); err != nil {
+				continue
+			}
+			count := 0
+			for d.Next() {
+				count++
+				if count > d.Header().Count {
+					t.Fatal("StreamDecoder yielded more events than the header claims")
 				}
 			}
 		}

@@ -297,7 +297,7 @@ type Builder interface {
 	Len() int
 	// RecordSize returns the logical per-record size.
 	RecordSize() int
-	// Version returns the wire format (PackV1 or PackV2).
+	// Version returns the wire format (PackV1, PackV2, or PackV3).
 	Version() int
 }
 
@@ -312,6 +312,8 @@ func NewBuilder(version int, appID uint32, srcRank int32, recordSize, packBytes 
 		return NewPackBuilder(appID, srcRank, recordSize, packBytes), nil
 	case PackV2:
 		return NewPackBuilderV2(appID, srcRank, recordSize, packBytes), nil
+	case PackV3:
+		return NewPackBuilderV3(appID, srcRank, recordSize, packBytes), nil
 	}
 	return nil, fmt.Errorf("trace: unknown pack format version %d", version)
 }
@@ -366,6 +368,13 @@ func (r *PackReader) Init(buf []byte) error {
 	r.err = nil
 	r.i = 0
 	r.off = PackHeaderSize
+	if h.Version == PackV3 {
+		// v3 decoding needs the persistent per-writer dictionary, which a
+		// stateless reader cannot have: refusing here (instead of silently
+		// misreading) is what catches a v3 pack that leaked onto a path
+		// that does not preserve per-writer order.
+		return r.fail(fmt.Errorf("trace: v3 pack requires a per-writer StreamDecoder, not the stateless PackReader"))
+	}
 	if h.Version != PackV2 {
 		return nil
 	}

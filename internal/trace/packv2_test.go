@@ -313,7 +313,7 @@ func TestNewBuilderVersions(t *testing.T) {
 	for _, c := range []struct {
 		version int
 		want    int
-	}{{0, PackV1}, {PackV1, PackV1}, {PackV2, PackV2}} {
+	}{{0, PackV1}, {PackV1, PackV1}, {PackV2, PackV2}, {PackV3, PackV3}} {
 		b, err := NewBuilder(c.version, 0, 0, 48, 1<<12)
 		if err != nil {
 			t.Fatalf("version %d: %v", c.version, err)
@@ -322,7 +322,7 @@ func TestNewBuilderVersions(t *testing.T) {
 			t.Fatalf("NewBuilder(%d).Version() = %d, want %d", c.version, b.Version(), c.want)
 		}
 	}
-	if _, err := NewBuilder(3, 0, 0, 48, 1<<12); err == nil {
+	if _, err := NewBuilder(4, 0, 0, 48, 1<<12); err == nil {
 		t.Fatal("unknown version accepted")
 	}
 }

@@ -215,16 +215,16 @@ type Header struct {
 	// pack this is the logical v1 record size the pack stands in for — the
 	// accounting basis for compression ratios — not an on-wire stride.
 	RecordSize int
-	// Version is the pack wire format (PackV1 or PackV2).
+	// Version is the pack wire format (PackV1, PackV2, or PackV3).
 	Version int
 
-	// bodyLen is the v2 encoded body size after the header (0 for v1).
+	// bodyLen is the v2/v3 encoded body size after the header (0 for v1).
 	bodyLen int
 }
 
 // WireLen returns the encoded byte size of the pack the header describes.
 func (h Header) WireLen() int {
-	if h.Version == PackV2 {
+	if h.Version == PackV2 || h.Version == PackV3 {
 		return PackHeaderSize + h.bodyLen
 	}
 	return PackHeaderSize + h.Count*h.RecordSize
@@ -358,6 +358,8 @@ func PeekHeader(buf []byte) (Header, error) {
 		version = PackV1
 	case packMagicV2:
 		version = PackV2
+	case packMagicV3:
+		version = PackV3
 	case packMagicAudit:
 		version = PackAudit
 	default:
@@ -384,16 +386,17 @@ func PeekHeader(buf []byte) (Header, error) {
 	if h.RecordSize < MinRecordSize {
 		return Header{}, fmt.Errorf("trace: record size %d below minimum %d", h.RecordSize, MinRecordSize)
 	}
-	if version == PackV2 {
+	if version == PackV2 || version == PackV3 {
 		h.bodyLen = int(binary.LittleEndian.Uint32(buf[20:]))
 		if h.bodyLen > len(buf)-PackHeaderSize {
-			return Header{}, fmt.Errorf("trace: v2 pack truncated: %d bytes, header implies %d", len(buf), PackHeaderSize+h.bodyLen)
+			return Header{}, fmt.Errorf("trace: v%d pack truncated: %d bytes, header implies %d", version, len(buf), PackHeaderSize+h.bodyLen)
 		}
 		// Every event costs at least one byte per column, so an honest
 		// count is bounded by the body size; this keeps decoders from
-		// pre-allocating for a hostile 32-bit count.
+		// pre-allocating for a hostile 32-bit count. (The v3 dictionary
+		// delta only adds body bytes, so the same bound holds.)
 		if h.Count > h.bodyLen/numColumns {
-			return Header{}, fmt.Errorf("trace: v2 pack claims %d events in a %d-byte body", h.Count, h.bodyLen)
+			return Header{}, fmt.Errorf("trace: v%d pack claims %d events in a %d-byte body", version, h.Count, h.bodyLen)
 		}
 		return h, nil
 	}

@@ -195,3 +195,102 @@ func TestSetPackFormatValidation(t *testing.T) {
 		t.Fatal("unknown peer should default to format 1")
 	}
 }
+
+// TestStreamFormatV3Negotiation: the v3 hello travels like v2's — the
+// default reader ceiling now admits it, and a reader capped at v2
+// rejects it naming both versions.
+func TestStreamFormatV3Negotiation(t *testing.T) {
+	var peerFormat int
+	runMPMD(t,
+		progSpec{"w", 1, func(s *Session) {
+			var m Map
+			if err := s.MapPartitions(1, MapRoundRobin, &m); err != nil {
+				t.Error(err)
+				return
+			}
+			st := NewStream(s, 1024, BalanceRoundRobin)
+			st.SetPackFormat(3)
+			if err := st.OpenMap(&m, "w"); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := st.Write([]byte("dictionary"), 10); err != nil {
+				t.Error(err)
+			}
+			if err := st.Close(); err != nil {
+				t.Error(err)
+			}
+		}},
+		progSpec{"r", 1, func(s *Session) {
+			var m Map
+			if err := s.MapPartitions(0, MapRoundRobin, &m); err != nil {
+				t.Error(err)
+				return
+			}
+			st := NewStream(s, 1024, BalanceRoundRobin)
+			if err := st.OpenMap(&m, "r"); err != nil {
+				t.Error(err)
+				return
+			}
+			for {
+				blk, err := st.Read(false)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if blk == nil {
+					break
+				}
+			}
+			peerFormat = st.PeerFormat(0)
+			if err := st.Close(); err != nil {
+				t.Error(err)
+			}
+		}},
+	)
+	if peerFormat != 3 {
+		t.Fatalf("reader recorded peer format %d, want 3", peerFormat)
+	}
+}
+
+// TestStreamFormatV3RejectedByV2Reader: a reader that lowered its ceiling
+// to v2 refuses a v3 writer with an error naming both versions.
+func TestStreamFormatV3RejectedByV2Reader(t *testing.T) {
+	var readErr error
+	runMPMD(t,
+		progSpec{"w", 1, func(s *Session) {
+			var m Map
+			if err := s.MapPartitions(1, MapRoundRobin, &m); err != nil {
+				t.Error(err)
+				return
+			}
+			st := NewStream(s, 1024, BalanceRoundRobin)
+			st.SetPackFormat(3)
+			if err := st.OpenMap(&m, "w"); err != nil {
+				t.Error(err)
+				return
+			}
+			_ = st.Write([]byte("dictionary"), 10)
+		}},
+		progSpec{"r", 1, func(s *Session) {
+			var m Map
+			if err := s.MapPartitions(0, MapRoundRobin, &m); err != nil {
+				t.Error(err)
+				return
+			}
+			st := NewStream(s, 1024, BalanceRoundRobin)
+			st.SetMaxPackFormat(2)
+			if err := st.OpenMap(&m, "r"); err != nil {
+				t.Error(err)
+				return
+			}
+			_, readErr = st.Read(false)
+		}},
+	)
+	if readErr == nil {
+		t.Fatal("v2-capped reader accepted a v3 writer")
+	}
+	if !strings.Contains(readErr.Error(), "format v3") || !strings.Contains(readErr.Error(), "up to v2") {
+		t.Fatalf("rejection should name both formats, got: %v", readErr)
+	}
+}

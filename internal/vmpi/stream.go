@@ -260,8 +260,11 @@ func (st *Stream) SetChannel(ch int) {
 }
 
 // DefaultMaxPackFormat is the highest payload format a reader accepts
-// unless lowered with SetMaxPackFormat.
-const DefaultMaxPackFormat = 2
+// unless lowered with SetMaxPackFormat. Format 3 is the persistent
+// per-stream dictionary codec; its packs must be decoded in per-writer
+// order (trace.StreamDecoder), which the stream layer's per-writer
+// delivery order guarantees.
+const DefaultMaxPackFormat = 3
 
 // SetPackFormat declares the payload format this writer will stream
 // (before OpenMap). Formats above 1 are announced to every mapped reader
