@@ -63,13 +63,23 @@ func main() {
 	)
 	flag.Parse()
 
+	format, err := cliutil.ResolvePackFormat(*formatFlag, *packv2Flag)
+	if err != nil {
+		fatalUsage(err)
+	}
+	if *treeLevels <= 1 && (*treeFanin != 0 || *treeFlush != 0) {
+		fatalUsage(fmt.Errorf("-tree-fanin/-tree-flush need a reduction tree (-tree-levels >= 2)"))
+	}
+	if *exportP2P && *exportFlag == "" {
+		fatalUsage(fmt.Errorf("-export-p2p-only needs -export"))
+	}
 	platform, err := cliutil.PlatformByName(*platformFlag)
 	if err != nil {
-		log.Fatal(err)
+		fatalUsage(err)
 	}
 	workloads, err := parseApps(*appsFlag, *itersFlag)
 	if err != nil {
-		log.Fatal(err)
+		fatalUsage(err)
 	}
 
 	opts := exp.ProfileOptions{
@@ -79,8 +89,7 @@ func main() {
 		TemporalWindowNs: temporalFlag.Nanoseconds(),
 		Callsites:        *sitesFlag,
 		Sizes:            *sizesFlag,
-		PackV2:           *packv2Flag,
-		PackVersion:      *formatFlag,
+		PackVersion:      format,
 		Shards:           *shardsFlag,
 		Telemetry:        *telFlag,
 		TelemetryPeriod:  *telPeriod,
@@ -157,6 +166,12 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// fatalUsage exits non-zero on a bad flag or flag combination, with a
+// one-line pointer at the flag help.
+func fatalUsage(err error) {
+	log.Fatalf("%v (run with -h for usage)", err)
 }
 
 func parseApps(s string, iters int) ([]*nas.Workload, error) {

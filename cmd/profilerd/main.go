@@ -1,0 +1,82 @@
+// Command profilerd is the profiling daemon: the paper's "truly machine
+// wide server" as a long-running process. It listens on a TCP address,
+// hosts concurrent profiling sessions speaking the wire frame protocol,
+// and folds every closed session into a persistent service history (the
+// cross-job centralisation of profiling metrics).
+//
+//	profilerd -addr 127.0.0.1:7101
+//	profilerd -addr 127.0.0.1:7101 -budget 4M   # per-session ingest quota
+//
+// Clients are cmd/profilerctl (or anything built on internal/client).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"repro/internal/adapt"
+	"repro/internal/cliutil"
+	"repro/internal/service"
+	"repro/internal/serviced"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("profilerd: ")
+	var (
+		addrFlag     = flag.String("addr", "127.0.0.1:7101", "TCP listen address")
+		platformFlag = flag.String("platform", "tera100", "platform model the service reports (tera100 or curie)")
+		maxFlag      = flag.Int("max-sessions", serviced.DefaultMaxSessions, "concurrently live session cap")
+		budgetFlag   = flag.String("budget", "", "per-session ingest quota (e.g. 64M); past it the session's adaptive controller escalates and sheds (empty = unlimited)")
+		windowFlag   = flag.Int("window", serviced.DefaultWindow, "level-0 credit window in pack frames")
+		backlogFlag  = flag.String("backlog-high", "", "adaptive controller backlog-high threshold (e.g. 256K; empty = adapt default)")
+		verboseFlag  = flag.Bool("v", false, "log connection-level diagnostics")
+	)
+	flag.Parse()
+
+	platform, err := cliutil.PlatformByName(*platformFlag)
+	if err != nil {
+		fatalUsage(err)
+	}
+	opts := serviced.Options{
+		MaxSessions: *maxFlag,
+		Window:      *windowFlag,
+		Service:     service.New(platform),
+	}
+	if *budgetFlag != "" {
+		b, err := cliutil.ParseBytes(*budgetFlag)
+		if err != nil {
+			fatalUsage(err)
+		}
+		opts.SessionBudgetBytes = b
+	}
+	if *backlogFlag != "" {
+		b, err := cliutil.ParseBytes(*backlogFlag)
+		if err != nil {
+			fatalUsage(err)
+		}
+		opts.Adaptive = adapt.Config{BacklogHighBytes: b}
+	}
+	if *verboseFlag {
+		opts.Logf = log.Printf
+	}
+
+	l, err := net.Listen("tcp", *addrFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "profilerd: serving on %s (platform %s, %d session slots)\n",
+		l.Addr(), platform.Name, *maxFlag)
+	if err := serviced.New(opts).Serve(l); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// fatalUsage exits non-zero on a bad flag or flag combination, with a
+// one-line pointer at the flag help.
+func fatalUsage(err error) {
+	log.Fatalf("%v (run with -h for usage)", err)
+}

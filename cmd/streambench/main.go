@@ -73,35 +73,42 @@ func main() {
 	)
 	flag.Parse()
 
+	var modes []string
+	if *rawFlag {
+		modes = append(modes, "-rawspeed")
+	}
+	if *treeFlag != "" {
+		modes = append(modes, "-tree")
+	}
+	if *overloadFlag != "" {
+		modes = append(modes, "-overload")
+	}
+	if err := cliutil.ExclusiveModes(modes...); err != nil {
+		fatalUsage(err)
+	}
 	writers, err := cliutil.ParseInts(*writersFlag)
 	if err != nil {
-		log.Fatal(err)
+		fatalUsage(err)
 	}
 	ratios, err := cliutil.ParseInts(*ratiosFlag)
 	if err != nil {
-		log.Fatal(err)
+		fatalUsage(err)
 	}
 	perWriter, err := cliutil.ParseBytes(*bytesFlag)
 	if err != nil {
-		log.Fatal(err)
+		fatalUsage(err)
 	}
 	block, err := cliutil.ParseBytes(*blockFlag)
 	if err != nil {
-		log.Fatal(err)
+		fatalUsage(err)
 	}
 	platform, err := cliutil.PlatformByName(*platformFlag)
 	if err != nil {
-		log.Fatal(err)
+		fatalUsage(err)
 	}
-	format := *formatFlag
-	if format == 0 {
-		format = trace.PackV1
-		if *packv2Flag {
-			format = trace.PackV2
-		}
-	}
-	if format < trace.PackV1 || format > trace.PackV3 {
-		log.Fatalf("-format %d: pack formats are 1..3", format)
+	format, err := cliutil.ResolvePackFormat(*formatFlag, *packv2Flag)
+	if err != nil {
+		fatalUsage(err)
 	}
 
 	// Host-side profiles cover whatever mode runs below (the simulator and
@@ -214,6 +221,12 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// fatalUsage exits non-zero on a bad flag or flag combination, with a
+// one-line pointer at the flag help.
+func fatalUsage(err error) {
+	log.Fatalf("%v (run with -h for usage)", err)
 }
 
 // runTreeSweep is the -tree mode: profile real applications through flat

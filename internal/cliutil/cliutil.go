@@ -7,7 +7,37 @@ import (
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/trace"
 )
+
+// ResolvePackFormat resolves the -format/-packv2 flag pair into a
+// concrete pack wire format. -format 0 defers to the legacy -packv2
+// boolean; an explicit -format must be a known version and must not
+// contradict -packv2. Errors carry no usage hint — the command adds it.
+func ResolvePackFormat(format int, packv2 bool) (int, error) {
+	if format == 0 {
+		if packv2 {
+			return trace.PackV2, nil
+		}
+		return trace.PackV1, nil
+	}
+	if format < trace.PackV1 || format > trace.PackV3 {
+		return 0, fmt.Errorf("cliutil: -format %d: pack formats are %d..%d", format, trace.PackV1, trace.PackV3)
+	}
+	if packv2 && format != trace.PackV2 {
+		return 0, fmt.Errorf("cliutil: -packv2 conflicts with -format %d", format)
+	}
+	return format, nil
+}
+
+// ExclusiveModes checks that at most one mode flag of a command is set;
+// names lists the set ones ("-tree", "-overload", ...).
+func ExclusiveModes(names ...string) error {
+	if len(names) > 1 {
+		return fmt.Errorf("cliutil: %s are mutually exclusive", strings.Join(names, " and "))
+	}
+	return nil
+}
 
 // ParseInts parses a comma-separated list of integers ("64,256,1024").
 func ParseInts(s string) ([]int, error) {

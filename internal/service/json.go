@@ -1,0 +1,74 @@
+package service
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// StatsJSON is the wire shape of Stats: identical counters, with the
+// per-benchmark map flattened into a name-sorted list so the encoding is
+// deterministic (Go maps marshal sorted anyway, but the explicit list
+// keeps the order a documented contract, not an encoding accident).
+type StatsJSON struct {
+	Jobs         int              `json:"jobs"`
+	Applications int              `json:"applications"`
+	Events       int64            `json:"events"`
+	AppSeconds   float64          `json:"app_seconds"`
+	PerBenchmark []BenchCountJSON `json:"per_benchmark,omitempty"`
+}
+
+// BenchCountJSON is one benchmark's profile count.
+type BenchCountJSON struct {
+	Name  string `json:"name"`
+	Count int    `json:"count"`
+}
+
+// HistoryJSON summarizes one retained job for the status endpoint (the
+// full report stays server-side; clients wanting it ask for the job).
+type HistoryJSON struct {
+	ID         int      `json:"id"`
+	Apps       []string `json:"apps"`
+	Events     int64    `json:"events"`
+	AppSeconds float64  `json:"app_seconds"`
+}
+
+// StatusJSON is the service's machine-readable state: cumulative stats
+// plus the retained history ring — what `profilerctl status` renders and
+// what the daemon embeds in its own status document.
+type ServiceStatusJSON struct {
+	Platform       string        `json:"platform"`
+	Stats          StatsJSON     `json:"stats"`
+	History        []HistoryJSON `json:"history,omitempty"`
+	HistoryEvicted int           `json:"history_evicted"`
+}
+
+// StatusJSON marshals the service's stats and history ring.
+func (s *Service) StatusJSON() ([]byte, error) {
+	st := s.Stats()
+	out := ServiceStatusJSON{
+		Platform: s.platform.Name,
+		Stats: StatsJSON{
+			Jobs:         st.Jobs,
+			Applications: st.Applications,
+			Events:       st.Events,
+			AppSeconds:   st.AppSeconds,
+		},
+		HistoryEvicted: s.HistoryEvicted(),
+	}
+	names := make([]string, 0, len(st.PerBenchmark))
+	for n := range st.PerBenchmark {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		out.Stats.PerBenchmark = append(out.Stats.PerBenchmark, BenchCountJSON{Name: n, Count: st.PerBenchmark[n]})
+	}
+	for _, res := range s.History() {
+		h := HistoryJSON{ID: res.ID, Events: res.Events, AppSeconds: res.AppSeconds}
+		for _, ch := range res.Report.Chapters {
+			h.Apps = append(h.Apps, ch.App)
+		}
+		out.History = append(out.History, h)
+	}
+	return json.Marshal(out)
+}

@@ -1,0 +1,63 @@
+package service
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/telemetry"
+)
+
+func TestStatusJSON(t *testing.T) {
+	s := New(exp.Tera100())
+	s.SetTelemetry(telemetry.NewServiceMetrics(telemetry.NewRegistry()))
+	s.SetHistoryCap(1)
+
+	empty, err := s.StatusJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st0 ServiceStatusJSON
+	if err := json.Unmarshal(empty, &st0); err != nil {
+		t.Fatal(err)
+	}
+	if st0.Platform != "Tera100" || st0.Stats.Jobs != 0 || len(st0.History) != 0 {
+		t.Fatalf("empty status = %+v", st0)
+	}
+
+	if _, err := s.Submit(smallJob(t, "CG", 8)); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Submit(smallJob(t, "LU", 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := s.StatusJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st ServiceStatusJSON
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats.Jobs != 2 || st.Stats.Applications != 2 || st.Stats.Events == 0 {
+		t.Fatalf("stats = %+v", st.Stats)
+	}
+	// The per-benchmark list is a documented name-sorted contract.
+	if len(st.Stats.PerBenchmark) != 2 ||
+		st.Stats.PerBenchmark[0].Name != "CG.C" || st.Stats.PerBenchmark[1].Name != "LU.C" {
+		t.Fatalf("per-benchmark = %+v", st.Stats.PerBenchmark)
+	}
+	// With a cap of one, only the newest job is retained and the eviction
+	// is accounted.
+	if len(st.History) != 1 || st.History[0].ID != r2.ID || st.HistoryEvicted != 1 {
+		t.Fatalf("history = %+v evicted = %d", st.History, st.HistoryEvicted)
+	}
+	if len(st.History[0].Apps) != 1 || st.History[0].Apps[0] != "LU.C" {
+		t.Fatalf("history apps = %v", st.History[0].Apps)
+	}
+	if st.History[0].Events != r2.Events || st.History[0].AppSeconds != r2.AppSeconds {
+		t.Fatalf("history row = %+v vs result %+v", st.History[0], r2)
+	}
+}

@@ -135,6 +135,16 @@ func (s *Service) Submit(job Job) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("service: job failed: %w", err)
 	}
+	return s.Record(rep), nil
+}
+
+// Record folds an externally-produced report into the service's history
+// and cumulative stats, returning the job's Result. This is the
+// bookkeeping half of Submit, split out for front-ends that run the
+// analysis elsewhere — the profiling daemon records every closed
+// session here, so the cross-job "centralisation of profiling metrics"
+// spans in-process jobs and network tenants alike.
+func (s *Service) Record(rep *report.Report) Result {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextID++
@@ -152,7 +162,7 @@ func (s *Service) Submit(job Job) (Result, error) {
 	s.evictLocked()
 	s.tel.OnJob(len(rep.Chapters), res.Events)
 	s.tel.HistoryLen(len(s.history))
-	return res, nil
+	return res
 }
 
 // Stats returns a copy of the cumulative counters.

@@ -1,0 +1,441 @@
+// Package serviced is the profiler-as-a-service daemon: the paper's
+// concluding "truly machine wide server" made concrete. A Daemon hosts
+// many concurrent profiling sessions, each fed over a byte-stream
+// transport (loopback TCP, or anything io.ReadWriteCloser-shaped — an
+// in-process net.Pipe works, so the simulated VMPI world remains a
+// transport peer, not a special case) speaking the wire package's
+// length-prefixed frame protocol.
+//
+// Session lifecycle: Hello negotiates the pack wire format (the network
+// analogue of the vmpi hello tag), Register opens the session, Pack
+// frames stream the existing trace pack formats into per-application
+// partial profiles (the reduction tree's leaf machinery reused as the
+// serving engine), Snapshot/Diff serve incremental report state keyed by
+// a monotonic epoch cursor, Close runs the final flush and returns the
+// rendered report — byte-identical to the in-process service path for
+// the same packs and metadata. Per-session admission (credit windows +
+// a quota-driven adapt.Controller with class-level shedding gates) keeps
+// one hot tenant from degrading the rest; see admission.go.
+package serviced
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/adapt"
+	"repro/internal/service"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// DefaultMaxSessions bounds concurrently live sessions.
+const DefaultMaxSessions = 64
+
+// Options configures a Daemon. The zero value serves with the defaults
+// noted on each field.
+type Options struct {
+	// MaxSessions caps concurrently live sessions; registrations beyond it
+	// are rejected with an error frame (default DefaultMaxSessions).
+	MaxSessions int
+	// MaxFormat is the highest pack wire format the daemon negotiates
+	// (default trace.PackV3).
+	MaxFormat int
+	// Window is the level-0 per-session credit window in pack frames
+	// (default DefaultWindow).
+	Window int
+	// GovernEvery is the admission governor's observation cadence in packs
+	// (default DefaultGovernEvery).
+	GovernEvery int
+	// SessionBudgetBytes is the per-session ingest quota: volume past it
+	// reads as backlog to the session's adaptive controller, which
+	// escalates through the PR6 ladder — narrower credit window first,
+	// class-level shedding with an audited completeness bound at the top.
+	// 0 disables the quota (sessions never escalate or shed).
+	SessionBudgetBytes int64
+	// Adaptive tunes each session's controller (zero value = adapt
+	// defaults; tests shrink the thresholds for fast escalation).
+	Adaptive adapt.Config
+	// EpochCap bounds the retained sealed-delta log per session (default
+	// DefaultEpochCap); older Diff cursors get a full-state resync.
+	EpochCap int
+	// Service, when non-nil, receives every closed session's report via
+	// Record — the cross-job metric centralisation the in-process service
+	// keeps, now shared by every tenant of the daemon.
+	Service *service.Service
+	// Telemetry instruments the daemon (nil = free no-ops).
+	Telemetry *telemetry.DaemonMetrics
+	// Logf, when non-nil, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Status is the daemon's machine-readable state (profilerctl status).
+type Status struct {
+	SessionsLive   int   `json:"sessions_live"`
+	SessionsTotal  int64 `json:"sessions_total"`
+	SessionsClosed int64 `json:"sessions_closed"`
+	Aborted        int64 `json:"sessions_aborted"`
+	Rejected       int64 `json:"sessions_rejected"`
+	Packs          int64 `json:"packs"`
+	PackBytes      int64 `json:"pack_bytes"`
+	Events         int64 `json:"events"`
+	ShedEvents     int64 `json:"shed_events"`
+	// Service is the attached service's status JSON (absent without one).
+	Service json.RawMessage `json:"service,omitempty"`
+}
+
+// Daemon hosts concurrent profiling sessions.
+type Daemon struct {
+	opts Options
+
+	mu      sync.Mutex
+	nextID  uint64
+	live    int
+	closed  int64
+	aborted int64
+	reject  int64
+	packs   int64
+	bytes   int64
+	events  int64
+	shed    int64
+}
+
+// New builds a daemon.
+func New(opts Options) *Daemon {
+	if opts.MaxSessions <= 0 {
+		opts.MaxSessions = DefaultMaxSessions
+	}
+	if opts.MaxFormat <= 0 || opts.MaxFormat > trace.PackV3 {
+		opts.MaxFormat = trace.PackV3
+	}
+	return &Daemon{opts: opts}
+}
+
+// Serve accepts connections until the listener closes, one goroutine per
+// connection. It returns nil when the listener is closed.
+func (d *Daemon) Serve(l net.Listener) error {
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go func() {
+			if err := d.ServeConn(c); err != nil {
+				d.logf("serviced: %v", err)
+			}
+		}()
+	}
+}
+
+// ServeConn drives one connection's session to completion. Exported so
+// in-process transports (net.Pipe) serve without a listener.
+func (d *Daemon) ServeConn(rw io.ReadWriteCloser) error {
+	defer rw.Close()
+	c := &conn{d: d, fr: wire.NewReader(rw), bw: bufio.NewWriter(rw)}
+	err := c.run()
+	if c.sess != nil && !c.sess.closed {
+		d.endSession(c.sess, true)
+	}
+	return err
+}
+
+func (d *Daemon) logf(format string, args ...any) {
+	if d.opts.Logf != nil {
+		d.opts.Logf(format, args...)
+	}
+}
+
+// Status returns the daemon's current counters (plus the attached
+// service's status when one is wired in).
+func (d *Daemon) Status() (Status, error) {
+	d.mu.Lock()
+	st := Status{
+		SessionsLive:   d.live,
+		SessionsTotal:  int64(d.nextID),
+		SessionsClosed: d.closed,
+		Aborted:        d.aborted,
+		Rejected:       d.reject,
+		Packs:          d.packs,
+		PackBytes:      d.bytes,
+		Events:         d.events,
+		ShedEvents:     d.shed,
+	}
+	d.mu.Unlock()
+	if d.opts.Service != nil {
+		sj, err := d.opts.Service.StatusJSON()
+		if err != nil {
+			return Status{}, err
+		}
+		st.Service = sj
+	}
+	return st, nil
+}
+
+// StatusJSON marshals Status.
+func (d *Daemon) StatusJSON() ([]byte, error) {
+	st, err := d.Status()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(st)
+}
+
+// beginSession admits (or rejects) a new session under the live cap.
+func (d *Daemon) beginSession() (uint64, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.live >= d.opts.MaxSessions {
+		d.reject++
+		d.opts.Telemetry.OnReject()
+		return 0, false
+	}
+	d.nextID++
+	d.live++
+	d.opts.Telemetry.OnRegister(d.live)
+	return d.nextID, true
+}
+
+// endSession retires a session (closed cleanly or aborted) and folds its
+// accounting into the daemon totals.
+func (d *Daemon) endSession(s *session, aborted bool) {
+	d.mu.Lock()
+	d.live--
+	if aborted {
+		d.aborted++
+	} else {
+		d.closed++
+	}
+	d.packs += s.packs
+	if s.gov != nil {
+		d.bytes += s.gov.bytesIn
+	}
+	d.events += s.events
+	d.shed += s.shedTotal()
+	live := d.live
+	d.mu.Unlock()
+	d.opts.Telemetry.OnEnd(live, aborted)
+	d.opts.Telemetry.OnShed(s.shedTotal())
+}
+
+// conn is one connection's protocol state machine.
+type conn struct {
+	d    *Daemon
+	fr   *wire.Reader
+	bw   *bufio.Writer
+	sess *session
+	// granted/received implement the credit window: granted packs are the
+	// credits issued (RegisterAck window plus every Credit frame), and a
+	// fresh batch is granted exactly when the client exhausts them, so a
+	// compliant client is never starved and the window depth — shrunk by
+	// the governor under escalation — paces its burst size.
+	granted  int64
+	received int64
+}
+
+func (c *conn) send(typ byte, payload []byte) error {
+	if err := wire.WriteFrame(c.bw, typ, payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// fail sends a terminal error frame; the connection ends after it.
+func (c *conn) fail(format string, args ...any) error {
+	msg := fmt.Sprintf(format, args...)
+	if err := c.send(wire.TypeError, []byte(msg)); err != nil {
+		return fmt.Errorf("serviced: %s (error frame not delivered: %v)", msg, err)
+	}
+	return errors.New("serviced: " + msg)
+}
+
+// run drives the session state machine: Hello, then Register, then any
+// number of Pack/Snapshot/Diff/Stats, then Close; the connection may
+// only end cleanly at a frame boundary (a mid-frame disconnect aborts
+// the session).
+func (c *conn) run() error {
+	f, err := c.fr.Next()
+	if err != nil {
+		return fmt.Errorf("serviced: reading hello: %w", err)
+	}
+	if f.Type != wire.TypeHello {
+		return c.fail("expected hello, got frame type %#x", f.Type)
+	}
+	h, err := wire.ParseHello(f.Payload)
+	if err != nil {
+		return c.fail("%v", err)
+	}
+	if h.Proto != wire.ProtoVersion {
+		return c.fail("protocol version %d unsupported (want %d)", h.Proto, wire.ProtoVersion)
+	}
+	format := int(h.MaxFormat)
+	if format < trace.PackV1 {
+		return c.fail("client announced no usable pack format (%d)", h.MaxFormat)
+	}
+	if format > c.d.opts.MaxFormat {
+		format = c.d.opts.MaxFormat
+	}
+	if err := c.send(wire.TypeHelloAck, wire.EncodeHelloAck(wire.HelloAck{Proto: wire.ProtoVersion, Format: byte(format)})); err != nil {
+		return err
+	}
+
+	for {
+		f, err := c.fr.Next()
+		if err == io.EOF {
+			if c.sess != nil && !c.sess.closed {
+				return fmt.Errorf("serviced: session %d: connection ended before close", c.sess.id)
+			}
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("serviced: reading frame: %w", err)
+		}
+		switch f.Type {
+		case wire.TypeRegister:
+			if c.sess != nil {
+				return c.fail("duplicate register on one connection")
+			}
+			meta, err := wire.ParseSessionMeta(f.Payload)
+			if err != nil {
+				return c.fail("%v", err)
+			}
+			id, ok := c.d.beginSession()
+			if !ok {
+				return c.fail("daemon at capacity (%d live sessions)", c.d.opts.MaxSessions)
+			}
+			gov, err := newGovernor(c.d.opts.Adaptive, c.d.opts.Window, c.d.opts.GovernEvery, c.d.opts.SessionBudgetBytes)
+			if err == nil {
+				c.sess, err = newSession(id, format, meta, gov, c.d.opts.EpochCap)
+			}
+			if err != nil {
+				c.d.endSession(&session{}, true)
+				c.sess = nil
+				return c.fail("%v", err)
+			}
+			win := gov.window()
+			c.granted = int64(win)
+			if err := c.send(wire.TypeRegisterAck, wire.EncodeRegisterAck(wire.RegisterAck{Session: id, Window: uint32(win)})); err != nil {
+				return err
+			}
+
+		case wire.TypePack:
+			if err := c.needOpen("pack"); err != nil {
+				return err
+			}
+			src, pack, err := wire.ParsePack(f.Payload)
+			if err != nil {
+				return c.fail("%v", err)
+			}
+			if err := c.sess.ingest(src, pack); err != nil {
+				return c.fail("session %d: %v", c.sess.id, err)
+			}
+			c.d.opts.Telemetry.OnPack(len(f.Payload))
+			c.received++
+			if c.received >= c.granted {
+				if over := c.received - c.granted; over > 0 {
+					c.d.opts.Telemetry.CreditBacklog(over)
+				}
+				win := int64(c.sess.gov.window())
+				c.granted = c.received + win
+				if err := c.send(wire.TypeCredit, wire.EncodeCredit(wire.Credit{Credits: uint32(win), Window: uint32(win)})); err != nil {
+					return err
+				}
+			}
+
+		case wire.TypeSnapshot:
+			if err := c.needOpen("snapshot"); err != nil {
+				return err
+			}
+			st, err := c.sess.snapshot()
+			if err != nil {
+				return c.fail("session %d: %v", c.sess.id, err)
+			}
+			if err := c.send(wire.TypeState, wire.EncodeState(st)); err != nil {
+				return err
+			}
+
+		case wire.TypeDiff:
+			if err := c.needOpen("diff"); err != nil {
+				return err
+			}
+			dr, err := wire.ParseDiffReq(f.Payload)
+			if err != nil {
+				return c.fail("%v", err)
+			}
+			st, err := c.sess.diff(dr.Cursor)
+			if err != nil {
+				return c.fail("session %d: %v", c.sess.id, err)
+			}
+			if err := c.send(wire.TypeState, wire.EncodeState(st)); err != nil {
+				return err
+			}
+
+		case wire.TypeClose:
+			if err := c.needOpen("close"); err != nil {
+				return err
+			}
+			cm, err := wire.ParseCloseMeta(f.Payload)
+			if err != nil {
+				return c.fail("%v", err)
+			}
+			rep, err := c.sess.close(cm)
+			if err != nil {
+				return c.fail("session %d: %v", c.sess.id, err)
+			}
+			var buf bytes.Buffer
+			if err := rep.Render(&buf); err != nil {
+				return c.fail("session %d: render: %v", c.sess.id, err)
+			}
+			if c.d.opts.Service != nil {
+				c.d.opts.Service.Record(rep)
+			}
+			c.d.endSession(c.sess, false)
+			fr := wire.FinalReport{
+				Session:  c.sess.id,
+				Events:   c.sess.analyzedEvents(),
+				Packs:    c.sess.packs,
+				Shed:     c.sess.shedTotal(),
+				MaxLevel: c.sess.gov.maxLevel(),
+				Rendered: buf.String(),
+			}
+			payload, err := wire.EncodeFinalReport(fr)
+			if err != nil {
+				return c.fail("session %d: %v", c.sess.id, err)
+			}
+			if err := c.send(wire.TypeReport, payload); err != nil {
+				return err
+			}
+
+		case wire.TypeStats:
+			sj, err := c.d.StatusJSON()
+			if err != nil {
+				return c.fail("status: %v", err)
+			}
+			if err := c.send(wire.TypeStatsAck, sj); err != nil {
+				return err
+			}
+
+		default:
+			return c.fail("unexpected frame type %#x", f.Type)
+		}
+	}
+}
+
+// needOpen checks that a session is registered and still open.
+func (c *conn) needOpen(op string) error {
+	if c.sess == nil {
+		return c.fail("%s before register", op)
+	}
+	if c.sess.closed {
+		return c.fail("session %d: %s after close", c.sess.id, op)
+	}
+	return nil
+}

@@ -1,0 +1,330 @@
+package serviced
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/adapt"
+	"repro/internal/analysis"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// sessionApp is one application's analysis state inside a session: the
+// same leaf-partial machinery the reduction tree runs, split into an
+// accumulating delta and the merged cumulative state behind it.
+type sessionApp struct {
+	meta wire.AppMeta
+	// gate is the application's admission gate, programmed by the
+	// session's governor (its ladder sheds nothing below level 2).
+	gate *adapt.Gate
+	// delta accumulates events since the last seal. Non-final seals flush
+	// only settled statistics — wait-state pending queues stay here until
+	// Close, mirroring the tree leaves' final-flush semantics.
+	delta *analysis.Partial
+	// cum is the merge of every sealed delta: the state Snapshot serves.
+	cum *analysis.Partial
+}
+
+// session is one tenant's profiling session: per-application partial
+// profiles fed by the wire pack stream, sealed into a monotonic epoch
+// log that backs the Snapshot/Diff query API. A session lives on one
+// connection and is driven by a single goroutine, so it needs no lock.
+type session struct {
+	id     uint64
+	format int // negotiated pack wire format
+	meta   wire.SessionMeta
+	apps   []*sessionApp
+	byID   map[uint32]*sessionApp
+	// decs holds one persistent v3 stream decoder per writer (keyed by
+	// the client-assigned writer id): v3 packs index a cross-pack
+	// dictionary, so each writer's packs must decode in order through its
+	// own decoder — the same invariant the in-process fused ingest keeps.
+	decs map[uint32]*trace.StreamDecoder
+	gov  *governor
+
+	// epoch counts seals; sealed retains the most recent epochCap sealed
+	// deltas, covering epochs (epoch-len(sealed), epoch]. A Diff cursor
+	// older than that gets a full-state resync.
+	epoch    uint64
+	dirty    bool
+	sealed   []sealedEpoch
+	epochCap int
+
+	packs  int64
+	events int64
+	closed bool
+}
+
+// sealedEpoch is one sealed delta: the encoded per-application partials
+// of everything ingested between two seals, indexed like session.apps.
+type sealedEpoch struct {
+	apps [][]byte
+}
+
+// DefaultEpochCap bounds the retained sealed-delta log per session.
+const DefaultEpochCap = 64
+
+func newSession(id uint64, format int, meta wire.SessionMeta, gov *governor, epochCap int) (*session, error) {
+	if epochCap <= 0 {
+		epochCap = DefaultEpochCap
+	}
+	s := &session{
+		id:       id,
+		format:   format,
+		meta:     meta,
+		byID:     make(map[uint32]*sessionApp, len(meta.Apps)),
+		decs:     make(map[uint32]*trace.StreamDecoder),
+		gov:      gov,
+		epochCap: epochCap,
+	}
+	for _, am := range meta.Apps {
+		opts := analysis.PartialOptions{
+			AppSize:          am.Procs,
+			WaitState:        meta.WaitState,
+			TemporalWindowNs: meta.TemporalWindowNs,
+			Callsites:        meta.Callsites,
+			Sizes:            meta.Sizes,
+		}
+		if _, dup := s.byID[am.AppID]; dup {
+			return nil, fmt.Errorf("serviced: duplicate app id %d in register", am.AppID)
+		}
+		app := &sessionApp{
+			meta:  am,
+			gate:  gov.newGate(),
+			delta: analysis.NewPartial(am.AppID, opts),
+			cum:   analysis.NewPartial(am.AppID, opts),
+		}
+		s.apps = append(s.apps, app)
+		s.byID[am.AppID] = app
+	}
+	return s, nil
+}
+
+// ingest folds one pack frame into the session. The pack bytes alias the
+// frame reader's buffer; everything is consumed synchronously.
+func (s *session) ingest(src uint32, pack []byte) error {
+	h, err := trace.PeekHeader(pack)
+	if err != nil {
+		return fmt.Errorf("serviced: pack header: %w", err)
+	}
+	app := s.byID[h.AppID]
+	if app == nil {
+		return fmt.Errorf("serviced: pack for unregistered app id %d", h.AppID)
+	}
+	if h.Version == trace.PackAudit {
+		// A client-side shed ledger (adaptive instrumented runs): fold it
+		// into the same completeness accounting the daemon's own gates use.
+		_, entries, err := trace.DecodeAuditPack(pack)
+		if err != nil {
+			return fmt.Errorf("serviced: audit pack: %w", err)
+		}
+		app.delta.AddAudit(entries)
+		s.dirty = true
+		s.gov.onPack(len(pack))
+		return nil
+	}
+	if h.Version != s.format {
+		return fmt.Errorf("serviced: pack format v%d on a session negotiated for v%d", h.Version, s.format)
+	}
+	admitted := int64(0)
+	fold := func(ev *trace.Event) {
+		if app.gate.Admit(ev.Kind) {
+			app.delta.AddEvent(ev)
+			admitted++
+		}
+	}
+	if h.Version == trace.PackV3 {
+		dec := s.decs[src]
+		if dec == nil {
+			dec = &trace.StreamDecoder{}
+			s.decs[src] = dec
+		}
+		if _, err := dec.DecodeDispatch(pack, fold); err != nil {
+			return fmt.Errorf("serviced: pack decode: %w", err)
+		}
+	} else {
+		var pr trace.PackReader
+		if err := pr.Init(pack); err != nil {
+			return fmt.Errorf("serviced: pack decode: %w", err)
+		}
+		for pr.Next() {
+			fold(pr.Event())
+		}
+		if err := pr.Err(); err != nil {
+			return fmt.Errorf("serviced: pack decode: %w", err)
+		}
+	}
+	s.packs++
+	s.events += admitted
+	s.dirty = true
+	s.gov.onPack(len(pack))
+	return nil
+}
+
+// seal closes the current delta into a new epoch: each application's
+// delta is flushed (settled statistics only — pendings stay local),
+// merged into the cumulative state, and retained for Diff replay.
+func (s *session) seal() error {
+	if !s.dirty {
+		return nil
+	}
+	se := sealedEpoch{apps: make([][]byte, len(s.apps))}
+	for i, a := range s.apps {
+		buf := a.delta.Flush(nil, false)
+		se.apps[i] = buf
+		dp, err := analysis.DecodePartial(buf)
+		if err != nil {
+			return fmt.Errorf("serviced: seal epoch %d: %w", s.epoch+1, err)
+		}
+		if err := a.cum.Merge(dp); err != nil {
+			return fmt.Errorf("serviced: seal epoch %d: %w", s.epoch+1, err)
+		}
+	}
+	s.epoch++
+	s.sealed = append(s.sealed, se)
+	if over := len(s.sealed) - s.epochCap; over > 0 {
+		s.sealed = append(s.sealed[:0:0], s.sealed[over:]...)
+	}
+	s.dirty = false
+	return nil
+}
+
+// snapshot seals pending work and returns the full cumulative state:
+// one canonical partial per application, valid as a Diff cursor at
+// epoch To.
+func (s *session) snapshot() (wire.State, error) {
+	if err := s.seal(); err != nil {
+		return wire.State{}, err
+	}
+	st := wire.State{From: 0, To: s.epoch, Full: true, Apps: make([][]byte, len(s.apps))}
+	for i, a := range s.apps {
+		st.Apps[i] = a.cum.AppendCanonical(nil)
+	}
+	return st, nil
+}
+
+// diff seals pending work and returns the state delta after the client's
+// cursor: the merge of every sealed epoch in (cursor, epoch], one
+// mergeable partial per application. A cursor that aged out of the
+// retained log gets the full state back (Full set — replace, don't
+// merge); a cursor at the head gets an empty delta.
+func (s *session) diff(cursor uint64) (wire.State, error) {
+	if err := s.seal(); err != nil {
+		return wire.State{}, err
+	}
+	if cursor > s.epoch {
+		return wire.State{}, fmt.Errorf("serviced: diff cursor %d ahead of epoch %d", cursor, s.epoch)
+	}
+	lo := s.epoch - uint64(len(s.sealed)) // sealed log covers (lo, epoch]
+	if cursor < lo {
+		st, err := s.snapshot()
+		if err != nil {
+			return wire.State{}, err
+		}
+		st.From = cursor
+		return st, nil
+	}
+	st := wire.State{From: cursor, To: s.epoch}
+	if cursor == s.epoch {
+		return st, nil
+	}
+	st.Apps = make([][]byte, len(s.apps))
+	for i := range s.apps {
+		var acc *analysis.Partial
+		for _, se := range s.sealed[cursor-lo:] {
+			dp, err := analysis.DecodePartial(se.apps[i])
+			if err != nil {
+				return wire.State{}, fmt.Errorf("serviced: diff decode: %w", err)
+			}
+			if acc == nil {
+				acc = dp
+			} else if err := acc.Merge(dp); err != nil {
+				return wire.State{}, fmt.Errorf("serviced: diff merge: %w", err)
+			}
+		}
+		st.Apps[i] = acc.AppendCanonical(nil)
+	}
+	return st, nil
+}
+
+// close runs the final seal (wait-state pendings travel now, like a tree
+// leaf's final flush), folds the admission gates' shed ledgers into the
+// completeness accounting, and builds the final report.
+func (s *session) close(cm wire.CloseMeta) (*report.Report, error) {
+	if len(cm.Apps) != len(s.apps) {
+		return nil, fmt.Errorf("serviced: close names %d apps, session has %d", len(cm.Apps), len(s.apps))
+	}
+	for _, a := range s.apps {
+		if a.gate.TotalShed() > 0 {
+			a.delta.AddAudit(a.gate.Entries())
+		}
+	}
+	for _, a := range s.apps {
+		buf := a.delta.Flush(nil, true)
+		dp, err := analysis.DecodePartial(buf)
+		if err != nil {
+			return nil, fmt.Errorf("serviced: final seal: %w", err)
+		}
+		if err := a.cum.Merge(dp); err != nil {
+			return nil, fmt.Errorf("serviced: final seal: %w", err)
+		}
+	}
+	s.epoch++
+	s.closed = true
+
+	rep := &report.Report{Title: s.meta.Title}
+	for _, lr := range cm.Loss {
+		rep.StreamLoss = append(rep.StreamLoss, report.StreamLossRow{
+			App:          lr.App,
+			Rank:         lr.Rank,
+			Dropped:      lr.Dropped,
+			LostInFlight: lr.LostInFlight,
+			Shed:         lr.Shed,
+		})
+	}
+	for i, a := range s.apps {
+		if a.cum.Callsites != nil {
+			for ctx, label := range a.meta.Labels {
+				a.cum.Callsites.Label(ctx, label)
+			}
+		}
+		comp := a.cum.Shed
+		if comp == nil {
+			comp = analysis.NewCompletenessModule()
+		}
+		rep.Chapters = append(rep.Chapters, &report.Chapter{
+			App:          a.meta.Name,
+			Procs:        a.meta.Procs,
+			WallTime:     time.Duration(cm.Apps[i].WallNs),
+			Profiler:     a.cum.Profiler,
+			Topology:     a.cum.Topology,
+			Density:      a.cum.Density,
+			WaitState:    a.cum.Waits,
+			Temporal:     a.cum.Temporal,
+			Callsites:    a.cum.Callsites,
+			Sizes:        a.cum.Sizes,
+			Completeness: comp,
+		})
+	}
+	return rep, nil
+}
+
+// shedTotal sums the session's gate-shed events across applications.
+func (s *session) shedTotal() int64 {
+	var n int64
+	for _, a := range s.apps {
+		n += a.gate.TotalShed()
+	}
+	return n
+}
+
+// analyzedEvents sums the merged profiles' event counts.
+func (s *session) analyzedEvents() int64 {
+	var n int64
+	for _, a := range s.apps {
+		n += a.cum.Profiler.Events()
+	}
+	return n
+}

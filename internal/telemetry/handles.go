@@ -595,3 +595,89 @@ func (m *ServiceMetrics) HistoryLen(n int) {
 	}
 	m.history.Set(int64(n))
 }
+
+// DaemonMetrics instruments the profiling daemon (serviced): the
+// per-session multi-tenant layer above the in-process service. All
+// methods are nil-safe, so a daemon without telemetry pays nothing.
+type DaemonMetrics struct {
+	live     *Gauge
+	sessions *Counter
+	rejected *Counter
+	aborted  *Counter
+	bytes    *Counter
+	packs    *Counter
+	shed     *Counter
+	backlog  *Gauge
+}
+
+// NewDaemonMetrics registers the daemon instrument set on reg.
+func NewDaemonMetrics(reg *Registry) *DaemonMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &DaemonMetrics{
+		live:     reg.Gauge("daemon.sessions_live"),
+		sessions: reg.Counter("daemon.sessions"),
+		rejected: reg.Counter("daemon.sessions_rejected"),
+		aborted:  reg.Counter("daemon.sessions_aborted"),
+		bytes:    reg.Counter("daemon.pack_bytes"),
+		packs:    reg.Counter("daemon.packs"),
+		shed:     reg.Counter("daemon.shed_events"),
+		backlog:  reg.Gauge("daemon.credit_backlog"),
+	}
+}
+
+// OnRegister records a session opening and the new live count.
+func (m *DaemonMetrics) OnRegister(live int) {
+	if m == nil {
+		return
+	}
+	m.sessions.Add(1)
+	m.live.Set(int64(live))
+}
+
+// OnReject records an admission rejection (daemon at capacity).
+func (m *DaemonMetrics) OnReject() {
+	if m == nil {
+		return
+	}
+	m.rejected.Add(1)
+}
+
+// OnEnd records a session ending (closed or aborted) and the new live
+// count.
+func (m *DaemonMetrics) OnEnd(live int, aborted bool) {
+	if m == nil {
+		return
+	}
+	if aborted {
+		m.aborted.Add(1)
+	}
+	m.live.Set(int64(live))
+}
+
+// OnPack records one ingested pack frame.
+func (m *DaemonMetrics) OnPack(bytes int) {
+	if m == nil {
+		return
+	}
+	m.packs.Add(1)
+	m.bytes.Add(int64(bytes))
+}
+
+// OnShed records events shed by a session's admission governor.
+func (m *DaemonMetrics) OnShed(events int64) {
+	if m == nil {
+		return
+	}
+	m.shed.Add(events)
+}
+
+// CreditBacklog records the worst per-session credit overrun observed —
+// how far past its window the most aggressive tenant has pushed.
+func (m *DaemonMetrics) CreditBacklog(frames int64) {
+	if m == nil {
+		return
+	}
+	m.backlog.Set(frames)
+}

@@ -1,0 +1,89 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzDecodeFrame drives the frame reader and every frame-payload parser
+// over arbitrary byte streams, mirroring the trace package's pack fuzz
+// contract: malformed input must error, never panic or over-read. The
+// stream is decoded frame by frame; each recovered payload is then fed to
+// the parser its type byte selects, exactly like the daemon's dispatch.
+func FuzzDecodeFrame(f *testing.F) {
+	// Valid single frames of each payload shape.
+	seed := func(typ byte, payload []byte) []byte {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, typ, payload); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(seed(TypeHello, EncodeHello(Hello{Proto: ProtoVersion, MaxFormat: 3})))
+	f.Add(seed(TypeHelloAck, EncodeHelloAck(HelloAck{Proto: ProtoVersion, Format: 2})))
+	f.Add(seed(TypeRegisterAck, EncodeRegisterAck(RegisterAck{Session: 1, Window: 8})))
+	f.Add(seed(TypeCredit, EncodeCredit(Credit{Credits: 8, Window: 8})))
+	f.Add(seed(TypePack, EncodePack(3, []byte{1, 0, 0, 0, 16, 0, 0, 0})))
+	f.Add(seed(TypeDiff, EncodeDiffReq(DiffReq{Cursor: 2})))
+	f.Add(seed(TypeState, EncodeState(State{From: 1, To: 2, Full: true, Apps: [][]byte{[]byte("pp")}})))
+	if meta, err := EncodeSessionMeta(SessionMeta{Title: "t", Apps: []AppMeta{{Name: "CG.A", Procs: 16, AppID: 1}}}); err == nil {
+		f.Add(seed(TypeRegister, meta))
+	}
+	if cm, err := EncodeCloseMeta(CloseMeta{Apps: []AppFinal{{WallNs: 1}}}); err == nil {
+		f.Add(seed(TypeClose, cm))
+	}
+	// Two frames back to back: boundary handling.
+	f.Add(append(seed(TypeSnapshot, nil), seed(TypeStats, nil)...))
+	// Truncated header, bad magic, hostile length, format-mismatch hello.
+	f.Add([]byte{'P'})
+	f.Add([]byte{'P', 'F', TypePack, 0xFF, 0xFF})
+	f.Add([]byte{'X', 'X', 0, 0, 0, 0, 0})
+	f.Add([]byte{'P', 'F', TypePack, 0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})
+	f.Add(seed(TypeHello, []byte{ProtoVersion, 200}))
+	f.Add(seed(TypeHello, []byte{ProtoVersion}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := NewReader(bytes.NewReader(data))
+		// Cap the payload limit so hostile lengths cannot ask the reader
+		// for a 64 MiB allocation per fuzz exec.
+		fr.SetMaxFrameBytes(1 << 16)
+		for {
+			frame, err := fr.Next()
+			if err != nil {
+				if err == io.EOF && len(frame.Payload) != 0 {
+					t.Fatal("EOF with a payload")
+				}
+				return
+			}
+			switch frame.Type {
+			case TypeHello:
+				ParseHello(frame.Payload)
+			case TypeHelloAck:
+				ParseHelloAck(frame.Payload)
+			case TypeRegister:
+				ParseSessionMeta(frame.Payload)
+			case TypeRegisterAck:
+				ParseRegisterAck(frame.Payload)
+			case TypePack:
+				ParsePack(frame.Payload)
+			case TypeCredit:
+				ParseCredit(frame.Payload)
+			case TypeDiff:
+				ParseDiffReq(frame.Payload)
+			case TypeState:
+				if st, err := ParseState(frame.Payload); err == nil {
+					// A parsed state must re-encode to the identical bytes:
+					// the codec is canonical in both directions.
+					if !bytes.Equal(EncodeState(st), frame.Payload) {
+						t.Fatalf("state re-encode diverges")
+					}
+				}
+			case TypeClose:
+				ParseCloseMeta(frame.Payload)
+			case TypeReport:
+				ParseFinalReport(frame.Payload)
+			}
+		}
+	})
+}
