@@ -57,6 +57,7 @@ func main() {
 		packv2Flag   = flag.Bool("packv2", false, "stream event packs in the compact v2 wire format (default: v1 fixed records, the seed behavior)")
 		formatFlag   = flag.Int("format", 0, "pack wire format: 1 (fixed records), 2 (delta+varint) or 3 (stream dictionary, fused analyzer decode); 0 defers to -packv2")
 		shardsFlag   = flag.Int("shards", 0, "blackboard shard count (0 = 1, the single-partition board)")
+		replicasFlag = flag.Int("replicas", 0, "per-worker module replicas (0 = off): lock-free parallel folding with epoch merges; profiles stay byte-identical, incompatible with -export")
 		treeLevels   = flag.Int("tree-levels", 0, "analysis tree levels: <=1 flat pipeline, L>=2 adds L-1 aggregator tiers between leaves and the root blackboard")
 		treeFanin    = flag.Int("tree-fanin", 0, "reduction-tree fan-in (0 = 8); only with -tree-levels >= 2")
 		treeFlush    = flag.Int("tree-flush", 0, "ship partial-profile deltas every N packs (0 = only at stream end); only with -tree-levels >= 2")
@@ -72,6 +73,9 @@ func main() {
 	}
 	if *exportP2P && *exportFlag == "" {
 		fatalUsage(fmt.Errorf("-export-p2p-only needs -export"))
+	}
+	if *replicasFlag > 0 && *exportFlag != "" {
+		fatalUsage(fmt.Errorf("-replicas is incompatible with -export (the exporter is an IO proxy, not a mergeable module)"))
 	}
 	platform, err := cliutil.PlatformByName(*platformFlag)
 	if err != nil {
@@ -91,6 +95,7 @@ func main() {
 		Sizes:            *sizesFlag,
 		PackVersion:      format,
 		Shards:           *shardsFlag,
+		Replicas:         *replicasFlag,
 		Telemetry:        *telFlag,
 		TelemetryPeriod:  *telPeriod,
 		TreeLevels:       *treeLevels,

@@ -33,6 +33,7 @@ func main() {
 		budgetFlag   = flag.String("budget", "", "per-session ingest quota (e.g. 64M); past it the session's adaptive controller escalates and sheds (empty = unlimited)")
 		windowFlag   = flag.Int("window", serviced.DefaultWindow, "level-0 credit window in pack frames")
 		backlogFlag  = flag.String("backlog-high", "", "adaptive controller backlog-high threshold (e.g. 256K; empty = adapt default)")
+		workersFlag  = flag.Int("workers", 1, "per-session ingest worker-pool size (>1 folds packs on lock-free replica lanes, merged at every seal)")
 		verboseFlag  = flag.Bool("v", false, "log connection-level diagnostics")
 	)
 	flag.Parse()
@@ -44,6 +45,7 @@ func main() {
 	opts := serviced.Options{
 		MaxSessions: *maxFlag,
 		Window:      *windowFlag,
+		Workers:     *workersFlag,
 		Service:     service.New(platform),
 	}
 	if *budgetFlag != "" {
@@ -68,8 +70,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "profilerd: serving on %s (platform %s, %d session slots)\n",
-		l.Addr(), platform.Name, *maxFlag)
+	fmt.Fprintf(os.Stderr, "profilerd: serving on %s (platform %s, %d session slots, %d ingest workers)\n",
+		l.Addr(), platform.Name, *maxFlag, *workersFlag)
 	if err := serviced.New(opts).Serve(l); err != nil {
 		log.Fatal(err)
 	}

@@ -60,6 +60,7 @@ func main() {
 		rawFlag      = flag.Bool("rawspeed", false, "single-node raw analysis speed: the v2+flat-board baseline engine vs the v3+sharded fused engine, at host speed")
 		rawWriters   = flag.Int("raw-writers", 8, "writer streams in -rawspeed mode")
 		rawEvents    = flag.Int("raw-events", 200000, "events per writer in -rawspeed mode")
+		rawCores     = flag.String("cores", "", "comma-separated worker counts (e.g. 1,2,4,8): sweep the v3 fused engine's replica scaling in -rawspeed mode instead of the v2-vs-v3 comparison")
 		cpuProfile   = flag.String("cpuprofile", "", "write a host-side CPU profile of the run to this file")
 		memProfile   = flag.String("memprofile", "", "write a host-side heap profile to this file at exit")
 		treeFlag     = flag.String("tree", "", "reduction-tree ingest sweep over these applications (NAME.CLASS@PROCS[,...]) instead of the Figure 14 stream sweep")
@@ -138,8 +139,19 @@ func main() {
 	}
 
 	if *rawFlag {
-		runRawSpeed(*rawWriters, *rawEvents)
+		if *rawCores != "" {
+			cores, err := cliutil.ParseInts(*rawCores)
+			if err != nil {
+				fatalUsage(err)
+			}
+			runRawScaling(*rawWriters, *rawEvents, cores)
+		} else {
+			runRawSpeed(*rawWriters, *rawEvents)
+		}
 		return
+	}
+	if *rawCores != "" {
+		fatalUsage(fmt.Errorf("-cores only applies to -rawspeed mode"))
 	}
 	if *treeFlag != "" {
 		runTreeSweep(platform, *treeFlag, *treeLevels, *treeFanin, *treeFlush, *treeIters, format)
@@ -350,4 +362,23 @@ func runRawSpeed(writers, events int) {
 			pt.name, pt.p.Events, pt.p.WireBytes, pt.p.Seconds, pt.p.EventsPerSec)
 	}
 	fmt.Printf("\nspeedup: %.2fx analyzed events/s\n", nu.EventsPerSec/base.EventsPerSec)
+}
+
+// runRawScaling is -rawspeed -cores: the v3 fused engine at each worker
+// count, replicas and shards scaling together — the PR9 acceptance
+// sweep. Speedups are against the 1-worker (serial, replica-free) run
+// when the sweep includes it, else against the smallest count measured.
+func runRawScaling(writers, events int, cores []int) {
+	points, err := exp.RawSpeedScaling(writers, events, cores)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := points[0].EventsPerSec
+	fmt.Printf("workers  replicas    events   seconds      events/s   speedup  epoch merges\n")
+	for _, pt := range points {
+		fmt.Printf("%7d  %8d  %8d  %8.3f  %12.0f  %7.2fx  %12d\n",
+			pt.Workers, pt.Replicas, pt.Events, pt.Seconds, pt.EventsPerSec,
+			pt.EventsPerSec/base, pt.EpochMerges)
+	}
+	fmt.Fprintf(os.Stderr, "streambench: rawspeed scaling on a %d-core host\n", runtime.NumCPU())
 }

@@ -81,6 +81,18 @@ type Pipeline struct {
 	folds  []func(*trace.Event)
 	foldFn atomic.Pointer[func(*trace.Event)]
 
+	// Replica mode (EnableReplicas): eventKSNames records every event KS
+	// registered through registerEventKS so the replica switch can retire
+	// them; exports counts export proxies (incompatible with replicas);
+	// reps holds one private module replica per board worker, indexed by
+	// worker id, merged every epochEvents events and at Settle.
+	eventKSNames []string
+	exports      int
+	replicaMode  bool
+	epochEvents  int
+	reps         []*Replica
+	rm           *telemetry.ReplicaMetrics
+
 	// codec, when attached, accounts each unpacked pack's event count and
 	// wall-clock unpack time. Set it before the first pack is posted; the
 	// board's queue ordering then publishes it to the worker pool.
@@ -90,6 +102,10 @@ type Pipeline struct {
 // SetCodecTelemetry attaches a codec telemetry bundle to the unpacker
 // (nil allowed and free). Call before posting packs.
 func (p *Pipeline) SetCodecTelemetry(m *telemetry.CodecMetrics) { p.codec = m }
+
+// SetReplicaTelemetry attaches a replica telemetry bundle (nil allowed
+// and free). Call before EnableReplicas.
+func (p *Pipeline) SetReplicaTelemetry(m *telemetry.ReplicaMetrics) { p.rm = m }
 
 // NewPipeline registers the unpacker and the three analysis modules for an
 // application of the given rank count under the given level name.
@@ -184,6 +200,9 @@ func (p *Pipeline) registerEventKS(name string, add func(*trace.Event)) error {
 	if err != nil {
 		return err
 	}
+	p.mu.Lock()
+	p.eventKSNames = append(p.eventKSNames, name+"@"+p.level)
+	p.mu.Unlock()
 	p.foldMu.Lock()
 	p.folds = append(p.folds, add)
 	folds := p.folds
@@ -347,8 +366,16 @@ type FusedIngest struct {
 	mu   sync.Mutex
 	decs map[int]*trace.StreamDecoder
 
+	// lanes, when non-empty, partition sources for lock-free parallel
+	// ingest into per-lane module replicas (NewParallelFusedIngest);
+	// epochPacks is the per-lane merge cadence.
+	lanes      []*ingestLane
+	epochPacks int
+
 	fusedPacks  atomic.Int64
 	fusedEvents atomic.Int64
+	epochMerges atomic.Int64
+	mergeNs     atomic.Int64
 }
 
 // NewFusedIngest wraps a dispatcher with per-writer v3 decode state.
@@ -374,14 +401,19 @@ func (f *FusedIngest) Absorb(src int, buf []byte) (consumed bool, err error) {
 	if p == nil {
 		return false, fmt.Errorf("analysis: v3 pack for unregistered app id %d", h.AppID)
 	}
-	f.mu.Lock()
-	dec := f.decs[src]
-	if dec == nil {
-		dec = &trace.StreamDecoder{}
-		f.decs[src] = dec
+	var n int
+	if len(f.lanes) > 0 {
+		n, err = f.absorbLane(p, src, buf)
+	} else {
+		f.mu.Lock()
+		dec := f.decs[src]
+		if dec == nil {
+			dec = &trace.StreamDecoder{}
+			f.decs[src] = dec
+		}
+		f.mu.Unlock()
+		n, err = p.FoldPack(dec, buf)
 	}
-	f.mu.Unlock()
-	n, err := p.FoldPack(dec, buf)
 	if err != nil {
 		return true, err
 	}

@@ -62,6 +62,34 @@ func (m *CallsiteModule) Add(ev *trace.Event) {
 	st.add(ev)
 }
 
+// fold is Add without the lock (replica fast path, caller owns m).
+func (m *CallsiteModule) fold(ev *trace.Event) {
+	key := callsiteKey{ctx: ev.Ctx, kind: ev.Kind}
+	st := m.per[key]
+	if st == nil {
+		st = &Stat{}
+		m.per[key] = st
+	}
+	st.add(ev)
+}
+
+// mergeReset folds o into m and resets o's stats in place, keeping o's
+// keys and buckets for reuse. Replica modules never carry labels, so
+// names are left alone. The caller must own o exclusively.
+func (m *CallsiteModule) mergeReset(o *CallsiteModule) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k, st := range o.per {
+		dst := m.per[k]
+		if dst == nil {
+			dst = &Stat{}
+			m.per[k] = dst
+		}
+		dst.merge(*st)
+		*st = Stat{}
+	}
+}
+
 // Top returns the n call-site rows with the largest accumulated time,
 // most expensive first.
 func (m *CallsiteModule) Top(n int) []CallsiteStat {

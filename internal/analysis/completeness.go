@@ -63,6 +63,23 @@ func (m *CompletenessModule) Merge(o *CompletenessModule) {
 	m.AddAudit(entries)
 }
 
+// mergeReset folds o into m and zeroes o's ledger in place, keeping o's
+// keys for reuse. The caller must own o exclusively.
+func (m *CompletenessModule) mergeReset(o *CompletenessModule) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k, st := range o.per {
+		dst := m.per[k]
+		if dst == nil {
+			dst = &ShedStat{}
+			m.per[k] = dst
+		}
+		dst.Shed += st.Shed
+		dst.Kept += st.Kept
+		*st = ShedStat{}
+	}
+}
+
 // Kinds returns the classes with ledger entries, in kind order.
 func (m *CompletenessModule) Kinds() []trace.Kind {
 	m.mu.Lock()

@@ -50,7 +50,13 @@ func NewProfilerModule(size int) *ProfilerModule {
 // Add folds one event in.
 func (m *ProfilerModule) Add(ev *trace.Event) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.fold(ev)
+	m.mu.Unlock()
+}
+
+// fold is Add without the lock: the replica fast path, where the caller
+// owns the module exclusively (see Replica).
+func (m *ProfilerModule) fold(ev *trace.Event) {
 	m.events++
 	st := m.total[ev.Kind]
 	if st == nil {
@@ -58,6 +64,25 @@ func (m *ProfilerModule) Add(ev *trace.Event) {
 		m.total[ev.Kind] = st
 	}
 	st.add(ev)
+}
+
+// mergeReset folds o into m and resets o to empty in place, keeping o's
+// allocated keys and buckets so a steady-state epoch merge allocates
+// nothing. The caller must own o exclusively (it is a paused replica).
+func (m *ProfilerModule) mergeReset(o *ProfilerModule) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.events += o.events
+	o.events = 0
+	for k, st := range o.total {
+		dst := m.total[k]
+		if dst == nil {
+			dst = &Stat{}
+			m.total[k] = dst
+		}
+		dst.merge(*st)
+		*st = Stat{}
+	}
 }
 
 // Events returns the number of events profiled.
@@ -199,6 +224,34 @@ func (m *TopologyModule) Add(ev *trace.Event) {
 	m.mat.TimeNs[i] += ev.Duration()
 }
 
+// fold is Add without the lock (replica fast path, caller owns m).
+func (m *TopologyModule) fold(ev *trace.Event) {
+	if !ev.Kind.IsOutgoingP2P() {
+		return
+	}
+	src, dst := int(ev.Rank), int(ev.Peer)
+	if src < 0 || dst < 0 || src >= m.mat.N || dst >= m.mat.N {
+		return
+	}
+	i := src*m.mat.N + dst
+	m.mat.Hits[i]++
+	m.mat.Bytes[i] += ev.Size
+	m.mat.TimeNs[i] += ev.Duration()
+}
+
+// mergeReset folds o into m and zeroes o's matrix in place. Allocation
+// free. The caller must own o exclusively.
+func (m *TopologyModule) mergeReset(o *TopologyModule) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range o.mat.Hits {
+		m.mat.Hits[i] += o.mat.Hits[i]
+		m.mat.Bytes[i] += o.mat.Bytes[i]
+		m.mat.TimeNs[i] += o.mat.TimeNs[i]
+		o.mat.Hits[i], o.mat.Bytes[i], o.mat.TimeNs[i] = 0, 0, 0
+	}
+}
+
 // Matrix returns a snapshot copy of the accumulated matrix.
 func (m *TopologyModule) Matrix() *Matrix {
 	m.mu.Lock()
@@ -278,6 +331,41 @@ func (m *DensityModule) Add(ev *trace.Event) {
 		m.perKind[ev.Kind] = per
 	}
 	per[r].add(ev)
+}
+
+// fold is Add without the lock (replica fast path, caller owns m).
+func (m *DensityModule) fold(ev *trace.Event) {
+	r := int(ev.Rank)
+	if r < 0 || r >= m.size {
+		return
+	}
+	per := m.perKind[ev.Kind]
+	if per == nil {
+		per = make([]Stat, m.size)
+		m.perKind[ev.Kind] = per
+	}
+	per[r].add(ev)
+}
+
+// mergeReset folds o into m and zeroes o's per-kind rows in place,
+// keeping o's map keys and slices for reuse. The caller must own o
+// exclusively; allocates only the first time m sees a kind.
+func (m *DensityModule) mergeReset(o *DensityModule) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k, per := range o.perKind {
+		dst := m.perKind[k]
+		if dst == nil {
+			dst = make([]Stat, m.size)
+			m.perKind[k] = dst
+		}
+		for r := range per {
+			if r < len(dst) {
+				dst[r].merge(per[r])
+			}
+			per[r] = Stat{}
+		}
+	}
 }
 
 // Size returns the application's rank count.

@@ -1,0 +1,366 @@
+package analysis
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/blackboard"
+	"repro/internal/trace"
+)
+
+// This file is the lock-free parallel analysis layer: per-worker module
+// replicas folding events into private memory, merged into the canonical
+// modules on epoch boundaries.
+//
+// The flat path serializes every fold on the modules' mutexes — at high
+// core counts the fused ingest collapses into lock convoys on the module
+// maps. But PR 5 already made every module's state associative-commutative
+// mergeable (the Partial machinery), so the fix is structural, not
+// lock-tuning: give each worker its own replica of the module set, fold
+// without any synchronization, and run the existing merge on epoch
+// boundaries. Merge order and cadence cannot change the result — that is
+// exactly the property the reduction tree is built on, and the canonical
+// sparse key-sorted Partial encoding makes it checkable byte-for-byte.
+
+// DefaultEpochEvents is the board-path epoch length: how many events a
+// worker's replica folds before merging into the canonical modules.
+const DefaultEpochEvents = 8192
+
+// DefaultEpochPacks is the fused-path epoch length: how many packs an
+// ingest lane folds before merging its replicas.
+const DefaultEpochPacks = 64
+
+// Replica is one worker's private module set: the existing module states
+// minus their mutexes. Fold writes only replica-local memory, so a worker
+// folding into its own replica takes no locks at all.
+//
+// Concurrency contract: a Replica is single-owner. Either one goroutine
+// folds into it, or its owner is externally synchronized (the board's
+// worker id, an ingest lane's mutex). Merging transfers the accumulated
+// state into a canonical (locked) module set and resets the replica in
+// place, reusing its allocated maps and buckets — steady-state fold and
+// merge allocate nothing.
+type Replica struct {
+	pp *Partial
+	// foldFn is the cached per-event dispatcher. Built once at
+	// construction so the fused decode loop passes a stable func value
+	// (no per-pack closure allocation).
+	foldFn func(*trace.Event)
+	// pending counts events folded since the last merge (board path).
+	pending int
+}
+
+// NewReplica creates a replica for an application of the given module
+// selection.
+func NewReplica(appID uint32, opts PartialOptions) *Replica {
+	r := &Replica{pp: NewPartial(appID, opts)}
+	pp := r.pp
+	r.foldFn = func(ev *trace.Event) {
+		pp.Profiler.fold(ev)
+		pp.Topology.fold(ev)
+		pp.Density.fold(ev)
+		if pp.Waits != nil {
+			pp.Waits.fold(ev)
+		}
+		if pp.Temporal != nil {
+			pp.Temporal.fold(ev)
+		}
+		if pp.Callsites != nil {
+			pp.Callsites.fold(ev)
+		}
+		if pp.Sizes != nil {
+			pp.Sizes.fold(ev)
+		}
+	}
+	return r
+}
+
+// Fold folds one event into the replica without locking.
+func (r *Replica) Fold(ev *trace.Event) { r.foldFn(ev) }
+
+// FoldFunc returns the replica's per-event fold dispatcher (a stable
+// func value, suitable for trace.StreamDecoder.DecodeDispatch).
+func (r *Replica) FoldFunc() func(*trace.Event) { return r.foldFn }
+
+// Partial returns the replica's underlying partial profile.
+func (r *Replica) Partial() *Partial { return r.pp }
+
+// Pending reports how many events were folded since the last merge.
+func (r *Replica) Pending() int { return r.pending }
+
+// MergeReset folds another partial of the same application into this one
+// and resets o to empty in place, keeping o's allocated maps, slices and
+// queue backing arrays for reuse. It is the epoch-merge form of Merge:
+// same result (Merge copies, MergeReset moves), but a steady-state merge
+// of a replica allocates nothing — no re-encoding, no snapshot copies.
+// The caller must own o exclusively (it is a paused replica).
+func (pp *Partial) MergeReset(o *Partial) error {
+	if pp.AppID != o.AppID {
+		return fmt.Errorf("analysis: merging partials of different apps (%d vs %d)", pp.AppID, o.AppID)
+	}
+	if pp.opts != o.opts {
+		return fmt.Errorf("analysis: merging partials with different module selections (%+v vs %+v)", pp.opts, o.opts)
+	}
+	pp.Profiler.mergeReset(o.Profiler)
+	pp.Topology.mergeReset(o.Topology)
+	pp.Density.mergeReset(o.Density)
+	if o.Shed != nil {
+		if pp.Shed == nil {
+			pp.Shed = NewCompletenessModule()
+		}
+		pp.Shed.mergeReset(o.Shed)
+	}
+	if pp.Waits != nil {
+		pp.Waits.mergeResetFull(o.Waits)
+	}
+	if pp.Temporal != nil {
+		pp.Temporal.mergeReset(o.Temporal)
+	}
+	if pp.Callsites != nil {
+		pp.Callsites.mergeReset(o.Callsites)
+	}
+	if pp.Sizes != nil {
+		pp.Sizes.mergeReset(o.Sizes)
+	}
+	return nil
+}
+
+// NewReplica creates a replica matching the pipeline's enabled module
+// selection. Call after every Enable* the run will use.
+func (p *Pipeline) NewReplica() *Replica {
+	return NewReplica(0, p.PartialOptions())
+}
+
+// MergeReplica folds a replica's accumulated state into the pipeline's
+// canonical modules and resets the replica in place (its maps and
+// buckets stay allocated for the next epoch). Safe to call concurrently
+// for distinct replicas: only the canonical side locks.
+func (p *Pipeline) MergeReplica(r *Replica) {
+	var t0 time.Time
+	if p.rm != nil {
+		t0 = time.Now()
+	}
+	pp := r.pp
+	p.Profiler.mergeReset(pp.Profiler)
+	p.Topology.mergeReset(pp.Topology)
+	p.Density.mergeReset(pp.Density)
+	if p.waits != nil && pp.Waits != nil {
+		p.waits.mergeResetFull(pp.Waits)
+	}
+	if p.temporal != nil && pp.Temporal != nil {
+		p.temporal.mergeReset(pp.Temporal)
+	}
+	if p.callsites != nil && pp.Callsites != nil {
+		p.callsites.mergeReset(pp.Callsites)
+	}
+	if p.sizes != nil && pp.Sizes != nil {
+		p.sizes.mergeReset(pp.Sizes)
+	}
+	if pp.Shed != nil {
+		p.Completeness.mergeReset(pp.Shed)
+	}
+	r.pending = 0
+	if p.rm != nil {
+		p.rm.OnEpochMerge(time.Since(t0).Nanoseconds())
+	}
+}
+
+// EnableReplicas switches the pipeline's board path to shared-nothing
+// parallel folding: the per-module event KSs (whose Adds all contend on
+// the module mutexes) are replaced by a single worker-aware fold KS that
+// folds each event into the executing worker's private replica, merging
+// into the canonical modules every epochEvents events (0 = default).
+// Call after every Enable* the run will use and before any event flows;
+// call Settle after the board drains to merge the residue.
+//
+// Trace export is incompatible (the exporter is an IO proxy, not a
+// mergeable module), as is adding further event KSs afterwards.
+func (p *Pipeline) EnableReplicas(epochEvents int) error {
+	if epochEvents <= 0 {
+		epochEvents = DefaultEpochEvents
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.replicaMode {
+		return fmt.Errorf("analysis: replicas already enabled on level %q", p.level)
+	}
+	if p.exports > 0 {
+		return fmt.Errorf("analysis: replicas are incompatible with trace export on level %q", p.level)
+	}
+	// Publish the replica table before the fold KS can run: workers
+	// index it lazily, each slot touched only by its owning worker.
+	p.epochEvents = epochEvents
+	p.reps = make([]*Replica, p.bb.Workers())
+	if err := p.bb.Register(blackboard.KS{
+		Name:          "fold@" + p.level,
+		Sensitivities: []blackboard.Type{blackboard.TypeID(p.level, TypeEvent)},
+		OpW: func(_ *blackboard.Blackboard, worker int, in []*blackboard.Entry) {
+			rep := p.reps[worker]
+			if rep == nil {
+				rep = p.NewReplica()
+				p.reps[worker] = rep
+			}
+			rep.Fold(in[0].Payload.(*trace.Event))
+			rep.pending++
+			if rep.pending >= p.epochEvents {
+				p.MergeReplica(rep)
+			}
+		},
+	}); err != nil {
+		return err
+	}
+	for _, name := range p.eventKSNames {
+		p.bb.Unregister(name)
+	}
+	p.replicaMode = true
+	if p.rm != nil {
+		p.rm.Replicas(len(p.reps))
+	}
+	return nil
+}
+
+// ReplicaMode reports whether EnableReplicas ran.
+func (p *Pipeline) ReplicaMode() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.replicaMode
+}
+
+// Settle merges every board-worker replica's residue into the canonical
+// modules. Call after the board drains (Drain's completion is the
+// happens-before edge that hands the workers' replicas to the caller);
+// any snapshot, report or module read after Settle sees exactly what the
+// flat path would have produced.
+func (p *Pipeline) Settle() {
+	p.mu.Lock()
+	reps := p.reps
+	p.mu.Unlock()
+	for _, rep := range reps {
+		if rep != nil && rep.pending > 0 {
+			p.MergeReplica(rep)
+		}
+	}
+}
+
+// FoldPackReplica is FoldPack targeting a private replica instead of the
+// shared modules: the same fused decode, but the per-event fold touches
+// only replica-local memory. The caller owns rep (see Replica).
+func (p *Pipeline) FoldPackReplica(rep *Replica, dec *trace.StreamDecoder, buf []byte) (int, error) {
+	var t0 time.Time
+	if p.codec != nil {
+		t0 = time.Now()
+	}
+	n, err := dec.DecodeDispatch(buf, rep.foldFn)
+	if err != nil {
+		return n, fmt.Errorf("analysis: undecodable pack on level %q: %w", p.level, err)
+	}
+	if p.codec != nil {
+		p.codec.OnDecode(n, time.Since(t0).Nanoseconds())
+	}
+	return n, nil
+}
+
+// --- parallel fused ingest ---
+
+// ingestLane is one partition of a parallel FusedIngest: sources hash to
+// lanes (src mod lanes), so one source's packs always decode on the same
+// lane — preserving the per-writer decode order v3 dictionaries need —
+// while distinct lanes share no mutable state. The lane mutex serializes
+// concurrent producers that happen to share a lane; it is taken once per
+// pack, not per event, so it amortizes to nothing at pack granularity.
+type ingestLane struct {
+	mu    sync.Mutex
+	decs  map[int]*trace.StreamDecoder
+	reps  map[*Pipeline]*Replica
+	packs int
+}
+
+// NewParallelFusedIngest wraps a dispatcher with lane-partitioned v3
+// ingest: lanes concurrent callers, each folding into private replicas
+// merged into the canonical modules every epochPacks packs per lane
+// (0 = default) and at Sync. With lanes <= 1 it degrades to the plain
+// serial FusedIngest.
+func NewParallelFusedIngest(d *Dispatcher, lanes, epochPacks int) *FusedIngest {
+	f := NewFusedIngest(d)
+	if lanes <= 1 {
+		return f
+	}
+	if epochPacks <= 0 {
+		epochPacks = DefaultEpochPacks
+	}
+	f.epochPacks = epochPacks
+	f.lanes = make([]*ingestLane, lanes)
+	for i := range f.lanes {
+		f.lanes[i] = &ingestLane{
+			decs: make(map[int]*trace.StreamDecoder),
+			reps: make(map[*Pipeline]*Replica),
+		}
+	}
+	return f
+}
+
+// Lanes returns the ingest lane count (0 when serial).
+func (f *FusedIngest) Lanes() int { return len(f.lanes) }
+
+// EpochMerges returns how many lane epoch merges ran.
+func (f *FusedIngest) EpochMerges() int64 { return f.epochMerges.Load() }
+
+// MergeNs returns the total wall-clock nanoseconds spent in lane epoch
+// merges.
+func (f *FusedIngest) MergeNs() int64 { return f.mergeNs.Load() }
+
+// absorbLane folds one v3 pack on the source's lane. Called from Absorb
+// when lanes are configured.
+func (f *FusedIngest) absorbLane(p *Pipeline, src int, buf []byte) (int, error) {
+	lane := f.lanes[src%len(f.lanes)]
+	lane.mu.Lock()
+	defer lane.mu.Unlock()
+	dec := lane.decs[src]
+	if dec == nil {
+		dec = &trace.StreamDecoder{}
+		lane.decs[src] = dec
+	}
+	rep := lane.reps[p]
+	if rep == nil {
+		rep = p.NewReplica()
+		lane.reps[p] = rep
+	}
+	n, err := p.FoldPackReplica(rep, dec, buf)
+	if err != nil {
+		return n, err
+	}
+	lane.packs++
+	if lane.packs >= f.epochPacks {
+		lane.packs = 0
+		f.mergeLaneLocked(lane)
+	}
+	return n, nil
+}
+
+// mergeLaneLocked merges every replica on the lane into its pipeline's
+// canonical modules. Called with the lane mutex held.
+func (f *FusedIngest) mergeLaneLocked(lane *ingestLane) {
+	if len(lane.reps) == 0 {
+		return
+	}
+	t0 := time.Now()
+	for p, rep := range lane.reps {
+		p.MergeReplica(rep)
+	}
+	f.epochMerges.Add(1)
+	f.mergeNs.Add(time.Since(t0).Nanoseconds())
+}
+
+// Sync merges every lane's replica residue into the canonical modules.
+// Call once all producers stopped (and after the board drains, for the
+// non-v3 packs that took the board path): afterwards snapshots, reports
+// and module reads see exactly what serial ingest would have produced.
+func (f *FusedIngest) Sync() {
+	for _, lane := range f.lanes {
+		lane.mu.Lock()
+		lane.packs = 0
+		f.mergeLaneLocked(lane)
+		lane.mu.Unlock()
+	}
+}

@@ -49,6 +49,28 @@ func (m *SizesModule) Add(ev *trace.Event) {
 	m.mu.Unlock()
 }
 
+// fold is Add without the lock (replica fast path, caller owns m).
+func (m *SizesModule) fold(ev *trace.Event) {
+	if !ev.Kind.IsOutgoingP2P() || ev.Size < 0 {
+		return
+	}
+	b := bucketOf(ev.Size)
+	m.hits[b]++
+	m.bytes[b] += ev.Size
+}
+
+// mergeReset folds o into m and zeroes o's buckets in place. Allocation
+// free. The caller must own o exclusively.
+func (m *SizesModule) mergeReset(o *SizesModule) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for b := 0; b < SizeBuckets; b++ {
+		m.hits[b] += o.hits[b]
+		m.bytes[b] += o.bytes[b]
+		o.hits[b], o.bytes[b] = 0, 0
+	}
+}
+
 // SizeBucket is one non-empty histogram row.
 type SizeBucket struct {
 	// Lo and Hi bound the bucket: sizes in [Lo, Hi).

@@ -74,6 +74,65 @@ func (m *TemporalModule) Add(ev *trace.Event) {
 	}
 }
 
+// fold is Add without the lock (replica fast path, caller owns m).
+func (m *TemporalModule) fold(ev *trace.Event) {
+	start, end := ev.TStart, ev.TEnd
+	if end < start {
+		return
+	}
+	firstB := int(start / m.window)
+	lastB := int(end / m.window)
+	if lastB+1 > m.buckets {
+		m.buckets = lastB + 1
+	}
+	per := m.perKind[ev.Kind]
+	if len(per) <= lastB {
+		grown := make([]Stat, m.buckets)
+		copy(grown, per)
+		per = grown
+		m.perKind[ev.Kind] = per
+	}
+	per[firstB].Hits++
+	per[firstB].Bytes += ev.Size
+	dur := end - start
+	if dur == 0 || firstB == lastB {
+		per[firstB].TimeNs += dur
+		return
+	}
+	for b := firstB; b <= lastB; b++ {
+		bStart := int64(b) * m.window
+		bEnd := bStart + m.window
+		lo, hi := max64(start, bStart), min64(end, bEnd)
+		if hi > lo {
+			per[b].TimeNs += hi - lo
+		}
+	}
+}
+
+// mergeReset folds o into m and zeroes o's buckets in place, keeping o's
+// map keys and slices for reuse. The caller must own o exclusively;
+// allocates only when m has to grow a kind's bucket slice.
+func (m *TemporalModule) mergeReset(o *TemporalModule) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if o.buckets > m.buckets {
+		m.buckets = o.buckets
+	}
+	for k, per := range o.perKind {
+		dst := m.perKind[k]
+		if len(dst) < len(per) {
+			grown := make([]Stat, len(per))
+			copy(grown, dst)
+			dst = grown
+			m.perKind[k] = dst
+		}
+		for b := range per {
+			dst[b].merge(per[b])
+			per[b] = Stat{}
+		}
+	}
+}
+
 func max64(a, b int64) int64 {
 	if a > b {
 		return a

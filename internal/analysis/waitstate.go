@@ -108,6 +108,29 @@ func (m *WaitStateModule) Add(ev *trace.Event) {
 	}
 }
 
+// fold is Add without the lock (replica fast path, caller owns m).
+func (m *WaitStateModule) fold(ev *trace.Event) {
+	switch ev.Kind {
+	case trace.KindSend, trace.KindIsend:
+		if ev.Peer < 0 {
+			return
+		}
+		key := chanKey{src: ev.Rank, dst: ev.Peer, tag: ev.Tag, comm: ev.Comm}
+		m.sends[key] = insertSorted(m.sends[key], ev.TStart,
+			func(a, b int64) bool { return a < b })
+	case trace.KindRecv, trace.KindWait:
+		if ev.Peer < 0 {
+			return
+		}
+		key := chanKey{src: ev.Peer, dst: ev.Rank, tag: ev.Tag, comm: ev.Comm}
+		if ev.Kind == trace.KindWait && ev.Tag < 0 {
+			return
+		}
+		rv := recvEvt{rank: ev.Rank, tStart: ev.TStart, tEnd: ev.TEnd}
+		m.recvs[key] = insertSorted(m.recvs[key], rv, lessRecv)
+	}
+}
+
 func lessRecv(a, b recvEvt) bool {
 	if a.tStart != b.tStart {
 		return a.tStart < b.tStart
@@ -295,6 +318,41 @@ func (m *WaitStateModule) MergeFull(o *WaitStateModule) {
 	for k := range recvs {
 		m.drainChannel(k)
 	}
+}
+
+// mergeResetFull is MergeFull with move semantics: o's queues and
+// accumulators are transferred into m and o is left empty, without
+// copying. Correctness is the same argument as MergeFull's — sorted
+// merge + positional pairing is order-insensitive — but ownership of
+// the queue backing arrays moves instead of being duplicated, so an
+// epoch merge of a drained replica allocates nothing (mergeSorted
+// returns the non-empty side unchanged when the other side is empty).
+// The caller must own o exclusively (it is a paused replica).
+func (m *WaitStateModule) mergeResetFull(o *WaitStateModule) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pairs += o.pairs
+	o.pairs = 0
+	for r := range o.lateNs {
+		if r < m.size {
+			m.lateNs[r] += o.lateNs[r]
+			m.lateHits[r] += o.lateHits[r]
+		}
+		o.lateNs[r], o.lateHits[r] = 0, 0
+	}
+	for k, q := range o.sends {
+		if len(q) > 0 {
+			m.sends[k] = mergeSorted(m.sends[k], q, func(a, b int64) bool { return a < b })
+		}
+		delete(o.sends, k)
+	}
+	for k, q := range o.recvs {
+		if len(q) > 0 {
+			m.recvs[k] = mergeSorted(m.recvs[k], q, lessRecv)
+		}
+		delete(o.recvs, k)
+	}
+	m.settleLocked()
 }
 
 // drainChannel positionally pairs a channel's queues while both sides

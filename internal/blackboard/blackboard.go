@@ -115,6 +115,13 @@ func (e *Entry) Refs() int32 { return e.refs.Load() }
 // (un)register KSs through the board handle.
 type Operation func(bb *Blackboard, inputs []*Entry)
 
+// WorkerOperation is an Operation that also receives the id of the pool
+// worker executing it (0 ≤ id < Workers). A KS whose state is partitioned
+// per worker — e.g. the analysis fold KS writing worker-local module
+// replicas — uses the id to pick its partition without any locking: the
+// same worker id is never live twice concurrently.
+type WorkerOperation func(bb *Blackboard, worker int, inputs []*Entry)
+
 // KS describes a knowledge source.
 type KS struct {
 	// Name identifies the KS for Unregister and diagnostics.
@@ -124,6 +131,9 @@ type KS struct {
 	Sensitivities []Type
 	// Op runs once per satisfied sensitivity set.
 	Op Operation
+	// OpW is the worker-aware alternative to Op: exactly one of the two
+	// must be set.
+	OpW WorkerOperation
 }
 
 // ksState is a registered KS plus its pending-entry slots.
@@ -221,7 +231,8 @@ type Blackboard struct {
 	regMu  sync.RWMutex
 	byName map[string]*ksState
 
-	shards []*shard
+	shards  []*shard
+	workers int
 
 	queued   atomic.Int64 // total queued jobs (telemetry gauge)
 	inflight atomic.Int64 // queued + executing jobs
@@ -292,8 +303,9 @@ func New(cfg Config) *Blackboard {
 		perShard = 1
 	}
 	bb := &Blackboard{
-		byName: make(map[string]*ksState),
-		shards: make([]*shard, cfg.Shards),
+		byName:  make(map[string]*ksState),
+		shards:  make([]*shard, cfg.Shards),
+		workers: cfg.Workers,
 	}
 	for i := range bb.shards {
 		sh := &shard{queues: make([]jobFIFO, perShard)}
@@ -335,8 +347,11 @@ func (bb *Blackboard) Register(ks KS) error {
 	if len(ks.Sensitivities) == 0 {
 		return fmt.Errorf("blackboard: KS %q has no sensitivities", ks.Name)
 	}
-	if ks.Op == nil {
+	if ks.Op == nil && ks.OpW == nil {
 		return fmt.Errorf("blackboard: KS %q has no operation", ks.Name)
+	}
+	if ks.Op != nil && ks.OpW != nil {
+		return fmt.Errorf("blackboard: KS %q sets both Op and OpW", ks.Name)
 	}
 	st := &ksState{
 		ks:    ks,
@@ -557,10 +572,10 @@ func (bb *Blackboard) worker(id int, sh *shard) {
 		}
 		if j.st.lat != nil {
 			start := time.Now()
-			bb.runOp(j)
+			bb.runOp(id, j)
 			j.st.lat.Observe(int64(time.Since(start)))
 		} else {
-			bb.runOp(j)
+			bb.runOp(id, j)
 		}
 		j.st.jobs.Add(1)
 		bb.jobsDone.Add(1)
@@ -605,14 +620,22 @@ func (bb *Blackboard) Close() {
 // knowledge source (the paper's KSs are third-party plugins loaded from
 // shared libraries) must not take the engine down. The panic is counted
 // and the job's inputs are released normally.
-func (bb *Blackboard) runOp(j job) {
+func (bb *Blackboard) runOp(worker int, j job) {
 	defer func() {
 		if r := recover(); r != nil {
 			bb.panics.Add(1)
 		}
 	}()
+	if j.st.ks.OpW != nil {
+		j.st.ks.OpW(bb, worker, j.inputs)
+		return
+	}
 	j.st.ks.Op(bb, j.inputs)
 }
+
+// Workers returns the worker pool size: the number of distinct worker ids
+// a WorkerOperation can observe.
+func (bb *Blackboard) Workers() int { return bb.workers }
 
 // Stats returns a snapshot of the engine counters.
 func (bb *Blackboard) Stats() Stats {

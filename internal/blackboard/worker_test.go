@@ -1,0 +1,72 @@
+package blackboard
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestWorkerOperationSeesOwnerID pins the OpW contract: every invocation
+// carries a worker id in [0, Workers()), the id is stable enough to
+// index per-worker state (each slot is only ever touched by its owner),
+// and all posted entries are processed.
+func TestWorkerOperationSeesOwnerID(t *testing.T) {
+	bb := New(Config{Workers: 4})
+	defer bb.Close()
+	if bb.Workers() != 4 {
+		t.Fatalf("Workers() = %d, want 4", bb.Workers())
+	}
+	typ := TypeID("app", "event")
+	perWorker := make([]int64, bb.Workers()) // worker-private slots, no atomics
+	var bad atomic.Int64
+	if err := bb.Register(KS{
+		Name:          "fold",
+		Sensitivities: []Type{typ},
+		OpW: func(_ *Blackboard, worker int, in []*Entry) {
+			if worker < 0 || worker >= 4 {
+				bad.Add(1)
+				return
+			}
+			perWorker[worker] += in[0].Payload.(int64)
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 200; i++ {
+		bb.Post(typ, 8, i)
+	}
+	bb.Drain()
+	if bad.Load() != 0 {
+		t.Fatalf("%d invocations saw an out-of-range worker id", bad.Load())
+	}
+	var sum int64
+	for _, n := range perWorker {
+		sum += n
+	}
+	if sum != 201*100 {
+		t.Fatalf("per-worker sums total %d, want %d", sum, 201*100)
+	}
+	if bb.KSJobs("fold") != 200 {
+		t.Fatalf("jobs = %d", bb.KSJobs("fold"))
+	}
+}
+
+// TestKSOpValidation pins Register's Op/OpW cross-checks.
+func TestKSOpValidation(t *testing.T) {
+	bb := New(Config{Workers: 1})
+	defer bb.Close()
+	typ := TypeID("l", "x")
+	err := bb.Register(KS{Name: "neither", Sensitivities: []Type{typ}})
+	if err == nil || !strings.Contains(err.Error(), "no operation") {
+		t.Errorf("no-op KS: err = %v", err)
+	}
+	err = bb.Register(KS{
+		Name:          "both",
+		Sensitivities: []Type{typ},
+		Op:            func(*Blackboard, []*Entry) {},
+		OpW:           func(*Blackboard, int, []*Entry) {},
+	})
+	if err == nil || !strings.Contains(err.Error(), "both Op and OpW") {
+		t.Errorf("both-ops KS: err = %v", err)
+	}
+}

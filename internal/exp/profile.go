@@ -81,6 +81,14 @@ type ProfileOptions struct {
 	// Shards partitions the root blackboard by entry type
 	// (0 = blackboard default of 1, the seed's single-partition board).
 	Shards int
+	// Replicas > 0 switches the analysis to the shared-nothing replica
+	// path: every pipeline's event KSs are replaced by one worker-aware
+	// fold KS writing per-worker module replicas, fused v3 ingest runs
+	// Replicas lock-free lanes, and the residue settles into the
+	// canonical modules before anything reads them. Profiles are
+	// byte-identical to the serial path; incompatible with Export (the
+	// trace proxy is not a mergeable module).
+	Replicas int
 	// Telemetry enables engine self-telemetry: the coupling stack's own
 	// counters (streams, NIC, sinks, blackboard) are sampled into
 	// meta-events, streamed over a dedicated VMPI channel, unpacked by an
@@ -302,10 +310,18 @@ func ProfileRunStats(p Platform, workloads []*nas.Workload, opts ProfileOptions)
 	if err != nil {
 		return nil, nil, err
 	}
+	if opts.Replicas > 0 && opts.Export != nil {
+		return nil, nil, fmt.Errorf("exp: trace export is incompatible with replica mode (Replicas > 0)")
+	}
 	// One fused ingest for the whole analyzer partition: per-writer v3
 	// decoders keyed by universe rank, shared safely because rank mains
-	// execute one at a time on the simulator.
-	fused := analysis.NewFusedIngest(disp)
+	// execute one at a time on the simulator. With Replicas > 0 the
+	// ingest is lane-partitioned over per-lane module replicas.
+	fused := analysis.NewParallelFusedIngest(disp, opts.Replicas, 0)
+	var replicaMetrics *telemetry.ReplicaMetrics
+	if opts.Telemetry && opts.Replicas > 0 {
+		replicaMetrics = telemetry.NewReplicaMetrics(reg)
+	}
 	if opts.Telemetry {
 		if health, err = analysis.NewEngineHealthKS(bb); err != nil {
 			return nil, nil, err
@@ -678,6 +694,15 @@ func ProfileRunStats(p Platform, workloads []*nas.Workload, opts ProfileOptions)
 			// home to be absorbed into.
 			tree.leafOpts[part.ID] = pipes[i].PartialOptions()
 		}
+		if opts.Replicas > 0 {
+			// After every Enable*: the replica module selection is frozen
+			// here. In tree mode only partials reach the root, so the fold
+			// KS idles — replica parallelism lives in the flat event flow.
+			pipes[i].SetReplicaTelemetry(replicaMetrics)
+			if err := pipes[i].EnableReplicas(0); err != nil {
+				return nil, nil, err
+			}
+		}
 	}
 	var reducers []*blackboard.Reducer
 	if tree != nil {
@@ -719,6 +744,13 @@ func ProfileRunStats(p Platform, workloads []*nas.Workload, opts ProfileOptions)
 		pipe.PostEOS()
 	}
 	bb.Drain()
+
+	// Replica mode: merge the worker/lane residue into the canonical
+	// modules before anything reads them (no-ops when serial).
+	fused.Sync()
+	for _, pipe := range pipes {
+		pipe.Settle()
+	}
 
 	if opts.Telemetry {
 		// One final host-side snapshot captures end-of-run totals — the

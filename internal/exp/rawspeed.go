@@ -35,6 +35,12 @@ type RawSpeedConfig struct {
 	// the ingest goroutines); false posts every pack on the board, the
 	// seed engine's only path. v3 requires Fused.
 	Fused bool
+	// Replicas > 0 switches module folding to the shared-nothing replica
+	// path: the pipeline's event KSs become one worker-aware fold KS
+	// writing per-worker replicas, and fused ingest runs Replicas
+	// lock-free lanes, all merged on epoch boundaries and settled before
+	// the measurement is read.
+	Replicas int
 }
 
 // RawSpeedPoint is one raw analysis-speed measurement.
@@ -44,11 +50,13 @@ type RawSpeedPoint struct {
 	Workers      int     `json:"workers"`
 	Writers      int     `json:"writers"`
 	Fused        bool    `json:"fused"`
+	Replicas     int     `json:"replicas"`
 	Events       int64   `json:"events"`
 	WireBytes    int64   `json:"wire_bytes"`
 	Seconds      float64 `json:"seconds"`
 	EventsPerSec float64 `json:"events_per_sec"`
 	FusedPacks   int64   `json:"fused_packs"`
+	EpochMerges  int64   `json:"epoch_merges"`
 }
 
 // RawAnalysisSpeed encodes each writer's Fig14 stream with the selected
@@ -106,7 +114,12 @@ func RawAnalysisSpeed(cfg RawSpeedConfig) (RawSpeedPoint, error) {
 	if err != nil {
 		return RawSpeedPoint{}, err
 	}
-	fused := analysis.NewFusedIngest(disp)
+	fused := analysis.NewParallelFusedIngest(disp, cfg.Replicas, 0)
+	if cfg.Replicas > 0 {
+		if err := pipe.EnableReplicas(0); err != nil {
+			return RawSpeedPoint{}, err
+		}
+	}
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -129,6 +142,10 @@ func RawAnalysisSpeed(cfg RawSpeedConfig) (RawSpeedPoint, error) {
 	}
 	wg.Wait()
 	bb.Drain()
+	// Settle the replica residue inside the measurement: the merges are
+	// part of the work the parallel path owes before its numbers count.
+	fused.Sync()
+	pipe.Settle()
 	secs := time.Since(start).Seconds()
 	select {
 	case err := <-errCh:
@@ -150,10 +167,43 @@ func RawAnalysisSpeed(cfg RawSpeedConfig) (RawSpeedPoint, error) {
 		Workers:      workers,
 		Writers:      cfg.Writers,
 		Fused:        cfg.Fused,
+		Replicas:     cfg.Replicas,
 		Events:       want,
 		WireBytes:    wire,
 		Seconds:      secs,
 		EventsPerSec: float64(want) / secs,
 		FusedPacks:   fused.FusedPacks(),
+		EpochMerges:  fused.EpochMerges(),
 	}, nil
+}
+
+// RawSpeedScaling measures the v3 fused path at each worker count in
+// cores: blackboard workers, shards and replica lanes all scale
+// together, the single knob the paper's "run at app speed on whatever
+// cores the analyzer has" premise turns. cores[i] == 1 runs the serial
+// (replica-free) engine, the scaling baseline.
+func RawSpeedScaling(writers, eventsPerWriter int, cores []int) ([]RawSpeedPoint, error) {
+	out := make([]RawSpeedPoint, 0, len(cores))
+	for _, c := range cores {
+		if c <= 0 {
+			return nil, fmt.Errorf("exp: invalid worker count %d", c)
+		}
+		cfg := RawSpeedConfig{
+			Writers:         writers,
+			EventsPerWriter: eventsPerWriter,
+			PackVersion:     trace.PackV3,
+			Fused:           true,
+			Workers:         c,
+			Shards:          c,
+		}
+		if c > 1 {
+			cfg.Replicas = c
+		}
+		pt, err := RawAnalysisSpeed(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
 }

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 
 	"repro/internal/adapt"
@@ -65,6 +66,13 @@ type Options struct {
 	// EpochCap bounds the retained sealed-delta log per session (default
 	// DefaultEpochCap); older Diff cursors get a full-state resync.
 	EpochCap int
+	// Workers is the per-session ingest worker-pool size. With Workers > 1
+	// each session fans its data packs out to that many lanes folding into
+	// lock-free per-app replicas, merged into the session delta at every
+	// seal — query results stay byte-identical to the synchronous path
+	// (see lanes.go). <= 1 ingests synchronously on the connection
+	// goroutine, the seed behaviour.
+	Workers int
 	// Service, when non-nil, receives every closed session's report via
 	// Record — the cross-job metric centralisation the in-process service
 	// keeps, now shared by every tenant of the daemon.
@@ -86,24 +94,49 @@ type Status struct {
 	PackBytes      int64 `json:"pack_bytes"`
 	Events         int64 `json:"events"`
 	ShedEvents     int64 `json:"shed_events"`
+	// Workers is the configured per-session ingest pool size (1 =
+	// synchronous).
+	Workers int `json:"workers"`
+	// ReplicaMerges / ReplicaMergeNs total the lane replica merges across
+	// retired and live sessions (always zero with Workers <= 1).
+	ReplicaMerges  int64 `json:"replica_merges"`
+	ReplicaMergeNs int64 `json:"replica_merge_ns"`
+	// Sessions lists the live sessions' per-session counters.
+	Sessions []SessionStatus `json:"sessions,omitempty"`
 	// Service is the attached service's status JSON (absent without one).
 	Service json.RawMessage `json:"service,omitempty"`
+}
+
+// SessionStatus is one live session's counters inside Status.
+type SessionStatus struct {
+	ID             uint64 `json:"id"`
+	Workers        int    `json:"workers"`
+	Epoch          uint64 `json:"epoch"`
+	Packs          int64  `json:"packs"`
+	Events         int64  `json:"events"`
+	ReplicaMerges  int64  `json:"replica_merges"`
+	ReplicaMergeNs int64  `json:"replica_merge_ns"`
 }
 
 // Daemon hosts concurrent profiling sessions.
 type Daemon struct {
 	opts Options
 
-	mu      sync.Mutex
-	nextID  uint64
-	live    int
-	closed  int64
-	aborted int64
-	reject  int64
-	packs   int64
-	bytes   int64
-	events  int64
-	shed    int64
+	mu     sync.Mutex
+	nextID uint64
+	live   int
+	// liveSess tracks registered, still-open sessions for Status; their
+	// counters are atomics, safe to read while their connections ingest.
+	liveSess map[uint64]*session
+	closed   int64
+	aborted  int64
+	reject   int64
+	packs    int64
+	bytes    int64
+	events   int64
+	shed     int64
+	merges   int64
+	mergeNs  int64
 }
 
 // New builds a daemon.
@@ -114,7 +147,10 @@ func New(opts Options) *Daemon {
 	if opts.MaxFormat <= 0 || opts.MaxFormat > trace.PackV3 {
 		opts.MaxFormat = trace.PackV3
 	}
-	return &Daemon{opts: opts}
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	return &Daemon{opts: opts, liveSess: make(map[uint64]*session)}
 }
 
 // Serve accepts connections until the listener closes, one goroutine per
@@ -155,7 +191,9 @@ func (d *Daemon) logf(format string, args ...any) {
 }
 
 // Status returns the daemon's current counters (plus the attached
-// service's status when one is wired in).
+// service's status when one is wired in). Live sessions are listed with
+// their per-session replica counters; the aggregate replica totals span
+// retired and live sessions.
 func (d *Daemon) Status() (Status, error) {
 	d.mu.Lock()
 	st := Status{
@@ -168,8 +206,26 @@ func (d *Daemon) Status() (Status, error) {
 		PackBytes:      d.bytes,
 		Events:         d.events,
 		ShedEvents:     d.shed,
+		Workers:        d.opts.Workers,
+		ReplicaMerges:  d.merges,
+		ReplicaMergeNs: d.mergeNs,
+	}
+	for _, s := range d.liveSess {
+		ss := SessionStatus{
+			ID:             s.id,
+			Workers:        s.workerCount(),
+			Epoch:          s.epoch.Load(),
+			Packs:          s.packs.Load(),
+			Events:         s.events.Load(),
+			ReplicaMerges:  s.laneMerges.Load(),
+			ReplicaMergeNs: s.laneMergeNs.Load(),
+		}
+		st.ReplicaMerges += ss.ReplicaMerges
+		st.ReplicaMergeNs += ss.ReplicaMergeNs
+		st.Sessions = append(st.Sessions, ss)
 	}
 	d.mu.Unlock()
+	sort.Slice(st.Sessions, func(i, j int) bool { return st.Sessions[i].ID < st.Sessions[j].ID })
 	if d.opts.Service != nil {
 		sj, err := d.opts.Service.StatusJSON()
 		if err != nil {
@@ -204,22 +260,34 @@ func (d *Daemon) beginSession() (uint64, bool) {
 	return d.nextID, true
 }
 
-// endSession retires a session (closed cleanly or aborted) and folds its
-// accounting into the daemon totals.
-func (d *Daemon) endSession(s *session, aborted bool) {
+// trackSession publishes a freshly registered session for Status.
+func (d *Daemon) trackSession(s *session) {
 	d.mu.Lock()
+	d.liveSess[s.id] = s
+	d.mu.Unlock()
+}
+
+// endSession retires a session (closed cleanly or aborted): the lane
+// pool is stopped first (so every counter is final), then its accounting
+// folds into the daemon totals.
+func (d *Daemon) endSession(s *session, aborted bool) {
+	s.shutdown()
+	d.mu.Lock()
+	delete(d.liveSess, s.id)
 	d.live--
 	if aborted {
 		d.aborted++
 	} else {
 		d.closed++
 	}
-	d.packs += s.packs
+	d.packs += s.packs.Load()
 	if s.gov != nil {
 		d.bytes += s.gov.bytesIn
 	}
-	d.events += s.events
+	d.events += s.events.Load()
 	d.shed += s.shedTotal()
+	d.merges += s.laneMerges.Load()
+	d.mergeNs += s.laneMergeNs.Load()
 	live := d.live
 	d.mu.Unlock()
 	d.opts.Telemetry.OnEnd(live, aborted)
@@ -313,13 +381,14 @@ func (c *conn) run() error {
 			}
 			gov, err := newGovernor(c.d.opts.Adaptive, c.d.opts.Window, c.d.opts.GovernEvery, c.d.opts.SessionBudgetBytes)
 			if err == nil {
-				c.sess, err = newSession(id, format, meta, gov, c.d.opts.EpochCap)
+				c.sess, err = newSession(id, format, meta, gov, c.d.opts.EpochCap, c.d.opts.Workers)
 			}
 			if err != nil {
 				c.d.endSession(&session{}, true)
 				c.sess = nil
 				return c.fail("%v", err)
 			}
+			c.d.trackSession(c.sess)
 			win := gov.window()
 			c.granted = int64(win)
 			if err := c.send(wire.TypeRegisterAck, wire.EncodeRegisterAck(wire.RegisterAck{Session: id, Window: uint32(win)})); err != nil {
@@ -401,7 +470,7 @@ func (c *conn) run() error {
 			fr := wire.FinalReport{
 				Session:  c.sess.id,
 				Events:   c.sess.analyzedEvents(),
-				Packs:    c.sess.packs,
+				Packs:    c.sess.packs.Load(),
 				Shed:     c.sess.shedTotal(),
 				MaxLevel: c.sess.gov.maxLevel(),
 				Rendered: buf.String(),

@@ -2,6 +2,8 @@ package serviced
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/adapt"
@@ -16,6 +18,9 @@ import (
 // accumulating delta and the merged cumulative state behind it.
 type sessionApp struct {
 	meta wire.AppMeta
+	// opts is the app's module selection, kept so ingest lanes can mint
+	// matching replicas (see lanes.go).
+	opts analysis.PartialOptions
 	// gate is the application's admission gate, programmed by the
 	// session's governor (its ladder sheds nothing below level 2).
 	gate *adapt.Gate
@@ -30,7 +35,11 @@ type sessionApp struct {
 // session is one tenant's profiling session: per-application partial
 // profiles fed by the wire pack stream, sealed into a monotonic epoch
 // log that backs the Snapshot/Diff query API. A session lives on one
-// connection and is driven by a single goroutine, so it needs no lock.
+// connection and is driven by a single goroutine; with workers > 1 a
+// bounded lane pool (lanes.go) folds data packs off that goroutine into
+// per-app replicas, merged back at every seal. Counters the daemon's
+// Status reads concurrently are atomics; everything else stays
+// connection-goroutine-owned.
 type session struct {
 	id     uint64
 	format int // negotiated pack wire format
@@ -47,13 +56,22 @@ type session struct {
 	// epoch counts seals; sealed retains the most recent epochCap sealed
 	// deltas, covering epochs (epoch-len(sealed), epoch]. A Diff cursor
 	// older than that gets a full-state resync.
-	epoch    uint64
+	epoch    atomic.Uint64
 	dirty    bool
 	sealed   []sealedEpoch
 	epochCap int
 
-	packs  int64
-	events int64
+	// lanes is the bounded ingest worker pool (empty = synchronous
+	// ingest); see lanes.go for the full concurrency contract.
+	lanes       []*lane
+	laneWG      sync.WaitGroup
+	bufPool     sync.Pool
+	shutOnce    sync.Once
+	laneMerges  atomic.Int64
+	laneMergeNs atomic.Int64
+
+	packs  atomic.Int64
+	events atomic.Int64
 	closed bool
 }
 
@@ -66,7 +84,7 @@ type sealedEpoch struct {
 // DefaultEpochCap bounds the retained sealed-delta log per session.
 const DefaultEpochCap = 64
 
-func newSession(id uint64, format int, meta wire.SessionMeta, gov *governor, epochCap int) (*session, error) {
+func newSession(id uint64, format int, meta wire.SessionMeta, gov *governor, epochCap, workers int) (*session, error) {
 	if epochCap <= 0 {
 		epochCap = DefaultEpochCap
 	}
@@ -92,6 +110,7 @@ func newSession(id uint64, format int, meta wire.SessionMeta, gov *governor, epo
 		}
 		app := &sessionApp{
 			meta:  am,
+			opts:  opts,
 			gate:  gov.newGate(),
 			delta: analysis.NewPartial(am.AppID, opts),
 			cum:   analysis.NewPartial(am.AppID, opts),
@@ -99,11 +118,25 @@ func newSession(id uint64, format int, meta wire.SessionMeta, gov *governor, epo
 		s.apps = append(s.apps, app)
 		s.byID[am.AppID] = app
 	}
+	if workers > 1 {
+		s.startLanes(workers)
+	}
 	return s, nil
 }
 
+// workerCount reports the session's ingest pool size (1 = synchronous).
+func (s *session) workerCount() int {
+	if len(s.lanes) == 0 {
+		return 1
+	}
+	return len(s.lanes)
+}
+
 // ingest folds one pack frame into the session. The pack bytes alias the
-// frame reader's buffer; everything is consumed synchronously.
+// frame reader's buffer; the synchronous path consumes them in place,
+// the lane path copies them before handing off. Audit packs are always
+// folded here — they touch the delta's completeness module, which the
+// lanes never do.
 func (s *session) ingest(src uint32, pack []byte) error {
 	h, err := trace.PeekHeader(pack)
 	if err != nil {
@@ -128,6 +161,22 @@ func (s *session) ingest(src uint32, pack []byte) error {
 	if h.Version != s.format {
 		return fmt.Errorf("serviced: pack format v%d on a session negotiated for v%d", h.Version, s.format)
 	}
+	if len(s.lanes) > 0 {
+		if err := s.enqueue(src, app, pack); err != nil {
+			return err
+		}
+	} else if err := s.foldSync(src, app, pack, h.Version); err != nil {
+		return err
+	}
+	s.packs.Add(1)
+	s.dirty = true
+	s.gov.onPack(len(pack))
+	return nil
+}
+
+// foldSync is the synchronous decode+fold path: events go straight into
+// the app's delta on the connection goroutine.
+func (s *session) foldSync(src uint32, app *sessionApp, pack []byte, version int) error {
 	admitted := int64(0)
 	fold := func(ev *trace.Event) {
 		if app.gate.Admit(ev.Kind) {
@@ -135,7 +184,7 @@ func (s *session) ingest(src uint32, pack []byte) error {
 			admitted++
 		}
 	}
-	if h.Version == trace.PackV3 {
+	if version == trace.PackV3 {
 		dec := s.decs[src]
 		if dec == nil {
 			dec = &trace.StreamDecoder{}
@@ -156,33 +205,36 @@ func (s *session) ingest(src uint32, pack []byte) error {
 			return fmt.Errorf("serviced: pack decode: %w", err)
 		}
 	}
-	s.packs++
-	s.events += admitted
-	s.dirty = true
-	s.gov.onPack(len(pack))
+	s.events.Add(admitted)
 	return nil
 }
 
-// seal closes the current delta into a new epoch: each application's
-// delta is flushed (settled statistics only — pendings stay local),
-// merged into the cumulative state, and retained for Diff replay.
+// seal closes the current delta into a new epoch: pending lane work is
+// flushed into the delta first (the lane pool's epoch barrier), then
+// each application's delta is flushed (settled statistics only —
+// pendings stay local), merged into the cumulative state, and retained
+// for Diff replay.
 func (s *session) seal() error {
+	if err := s.flushLanes(); err != nil {
+		return err
+	}
 	if !s.dirty {
 		return nil
 	}
+	epoch := s.epoch.Load()
 	se := sealedEpoch{apps: make([][]byte, len(s.apps))}
 	for i, a := range s.apps {
 		buf := a.delta.Flush(nil, false)
 		se.apps[i] = buf
 		dp, err := analysis.DecodePartial(buf)
 		if err != nil {
-			return fmt.Errorf("serviced: seal epoch %d: %w", s.epoch+1, err)
+			return fmt.Errorf("serviced: seal epoch %d: %w", epoch+1, err)
 		}
 		if err := a.cum.Merge(dp); err != nil {
-			return fmt.Errorf("serviced: seal epoch %d: %w", s.epoch+1, err)
+			return fmt.Errorf("serviced: seal epoch %d: %w", epoch+1, err)
 		}
 	}
-	s.epoch++
+	s.epoch.Add(1)
 	s.sealed = append(s.sealed, se)
 	if over := len(s.sealed) - s.epochCap; over > 0 {
 		s.sealed = append(s.sealed[:0:0], s.sealed[over:]...)
@@ -198,7 +250,7 @@ func (s *session) snapshot() (wire.State, error) {
 	if err := s.seal(); err != nil {
 		return wire.State{}, err
 	}
-	st := wire.State{From: 0, To: s.epoch, Full: true, Apps: make([][]byte, len(s.apps))}
+	st := wire.State{From: 0, To: s.epoch.Load(), Full: true, Apps: make([][]byte, len(s.apps))}
 	for i, a := range s.apps {
 		st.Apps[i] = a.cum.AppendCanonical(nil)
 	}
@@ -214,10 +266,11 @@ func (s *session) diff(cursor uint64) (wire.State, error) {
 	if err := s.seal(); err != nil {
 		return wire.State{}, err
 	}
-	if cursor > s.epoch {
-		return wire.State{}, fmt.Errorf("serviced: diff cursor %d ahead of epoch %d", cursor, s.epoch)
+	epoch := s.epoch.Load()
+	if cursor > epoch {
+		return wire.State{}, fmt.Errorf("serviced: diff cursor %d ahead of epoch %d", cursor, epoch)
 	}
-	lo := s.epoch - uint64(len(s.sealed)) // sealed log covers (lo, epoch]
+	lo := epoch - uint64(len(s.sealed)) // sealed log covers (lo, epoch]
 	if cursor < lo {
 		st, err := s.snapshot()
 		if err != nil {
@@ -226,8 +279,8 @@ func (s *session) diff(cursor uint64) (wire.State, error) {
 		st.From = cursor
 		return st, nil
 	}
-	st := wire.State{From: cursor, To: s.epoch}
-	if cursor == s.epoch {
+	st := wire.State{From: cursor, To: epoch}
+	if cursor == epoch {
 		return st, nil
 	}
 	st.Apps = make([][]byte, len(s.apps))
@@ -256,6 +309,9 @@ func (s *session) close(cm wire.CloseMeta) (*report.Report, error) {
 	if len(cm.Apps) != len(s.apps) {
 		return nil, fmt.Errorf("serviced: close names %d apps, session has %d", len(cm.Apps), len(s.apps))
 	}
+	if err := s.flushLanes(); err != nil {
+		return nil, err
+	}
 	for _, a := range s.apps {
 		if a.gate.TotalShed() > 0 {
 			a.delta.AddAudit(a.gate.Entries())
@@ -271,7 +327,7 @@ func (s *session) close(cm wire.CloseMeta) (*report.Report, error) {
 			return nil, fmt.Errorf("serviced: final seal: %w", err)
 		}
 	}
-	s.epoch++
+	s.epoch.Add(1)
 	s.closed = true
 
 	rep := &report.Report{Title: s.meta.Title}

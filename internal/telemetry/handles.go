@@ -681,3 +681,43 @@ func (m *DaemonMetrics) CreditBacklog(frames int64) {
 	}
 	m.backlog.Set(frames)
 }
+
+// ReplicaMetrics instruments the lock-free parallel analysis path:
+// per-worker module replicas folding without locks, merged into the
+// canonical modules on epoch boundaries. All methods are nil-safe, so a
+// serial engine pays nothing.
+type ReplicaMetrics struct {
+	replicas *Gauge
+	epochs   *Counter
+	mergeNs  *Histogram
+}
+
+// NewReplicaMetrics registers the replica instrument set on reg.
+func NewReplicaMetrics(reg *Registry) *ReplicaMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &ReplicaMetrics{
+		replicas: reg.Gauge("replica.count"),
+		epochs:   reg.Counter("replica.epoch_merges"),
+		mergeNs:  reg.Histogram("replica.merge_ns", LatencyBounds),
+	}
+}
+
+// Replicas records how many live module replicas exist.
+func (m *ReplicaMetrics) Replicas(n int) {
+	if m == nil {
+		return
+	}
+	m.replicas.Set(int64(n))
+}
+
+// OnEpochMerge records one replica→canonical epoch merge taking ns
+// wall-clock nanoseconds.
+func (m *ReplicaMetrics) OnEpochMerge(ns int64) {
+	if m == nil {
+		return
+	}
+	m.epochs.Add(1)
+	m.mergeNs.Observe(ns)
+}
