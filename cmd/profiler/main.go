@@ -61,6 +61,9 @@ func main() {
 		treeLevels   = flag.Int("tree-levels", 0, "analysis tree levels: <=1 flat pipeline, L>=2 adds L-1 aggregator tiers between leaves and the root blackboard")
 		treeFanin    = flag.Int("tree-fanin", 0, "reduction-tree fan-in (0 = 8); only with -tree-levels >= 2")
 		treeFlush    = flag.Int("tree-flush", 0, "ship partial-profile deltas every N packs (0 = only at stream end); only with -tree-levels >= 2")
+		windowFlag   = flag.Duration("window", 0, "windowed analysis: slice virtual time into windows of this width, each with its own report chapter section (0 = off)")
+		slideFlag    = flag.Duration("window-slide", 0, "sliding-window stride for -window (0 = tumbling)")
+		graceFlag    = flag.Duration("window-grace", 0, "lateness grace before an event counts against its window's completeness bound")
 	)
 	flag.Parse()
 
@@ -101,6 +104,9 @@ func main() {
 		TreeLevels:       *treeLevels,
 		TreeFanin:        *treeFanin,
 		TreeFlushPacks:   *treeFlush,
+		WindowNs:         windowFlag.Nanoseconds(),
+		WindowSlideNs:    slideFlag.Nanoseconds(),
+		WindowGraceNs:    graceFlag.Nanoseconds(),
 	}
 	if *exportFlag != "" {
 		if err := os.MkdirAll(*exportFlag, 0o755); err != nil {

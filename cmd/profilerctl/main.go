@@ -46,6 +46,9 @@ func main() {
 		sitesFlag    = flag.Bool("callsites", false, "enable the per-call-site breakdown")
 		sizesFlag    = flag.Bool("sizes", false, "enable the message-size distribution")
 		diffFlag     = flag.Int("diff-every", 0, "poll the Snapshot/Diff query API every N packs and verify the replayed cursor state against a full snapshot (0 = off)")
+		windowFlag   = flag.Duration("window", 0, "windowed analysis: window width in virtual time (0 = off)")
+		slideFlag    = flag.Duration("window-slide", 0, "sliding-window stride in virtual time (0 = tumbling)")
+		graceFlag    = flag.Duration("window-grace", 0, "lateness grace before an event counts against its window's completeness")
 	)
 	flag.Parse()
 
@@ -97,6 +100,9 @@ func main() {
 		Callsites:        *sitesFlag,
 		Sizes:            *sizesFlag,
 		PackVersion:      format,
+		WindowNs:         windowFlag.Nanoseconds(),
+		WindowSlideNs:    slideFlag.Nanoseconds(),
+		WindowGraceNs:    graceFlag.Nanoseconds(),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -116,6 +122,10 @@ func main() {
 	os.Stdout.WriteString(rep.Rendered)
 	fmt.Fprintf(os.Stderr, "profilerctl: session %d: %d events analysed, %d packs, %d shed (max admission level %d)\n",
 		rep.Session, rep.Events, rep.Packs, rep.Shed, rep.MaxLevel)
+	if rep.Windows > 0 {
+		fmt.Fprintf(os.Stderr, "profilerctl: session %d: %d analysis windows sealed, %d late events\n",
+			rep.Session, rep.Windows, rep.LateEvents)
+	}
 }
 
 // fatalUsage exits non-zero on a bad flag or flag combination, with a

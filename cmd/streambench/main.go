@@ -24,6 +24,14 @@
 // controller shedding load under a quantified completeness bound:
 //
 //	streambench -overload LU.A@16 -overload-rate 200k
+//
+// With -windowlag, the command runs the windowed-analysis latency sweep:
+// a deterministic virtual-clock model pushes events through steady,
+// burst and recovery phases, folding them into per-window partial
+// profiles, and prints the event-to-report-update lag per phase with a
+// catch-up SLO verdict:
+//
+//	streambench -windowlag -windowlag-slo 100us
 package main
 
 import (
@@ -71,6 +79,11 @@ func main() {
 		overloadFlag = flag.String("overload", "", "adaptive overload sweep over these applications (NAME.CLASS@PROCS[,...]) instead of the Figure 14 stream sweep")
 		overloadRate = flag.String("overload-rate", "200k", "throttled analyzer ingest rate in bytes/second for -overload")
 		overloadIter = flag.Int("overload-iters", 40, "timesteps per -overload application (0 = official counts)")
+		lagFlag      = flag.Bool("windowlag", false, "windowed-analysis latency sweep: virtual-clock burst/catch-up model with per-phase lag and an SLO verdict")
+		lagWindow    = flag.Duration("windowlag-window", time.Millisecond, "window length for -windowlag")
+		lagSlide     = flag.Duration("windowlag-slide", 0, "window slide for -windowlag (0 = tumbling)")
+		lagCost      = flag.Duration("windowlag-cost", time.Microsecond, "modeled analyzer cost per event for -windowlag")
+		lagSLO       = flag.Duration("windowlag-slo", 100*time.Microsecond, "end-of-run lag objective for -windowlag")
 	)
 	flag.Parse()
 
@@ -83,6 +96,9 @@ func main() {
 	}
 	if *overloadFlag != "" {
 		modes = append(modes, "-overload")
+	}
+	if *lagFlag {
+		modes = append(modes, "-windowlag")
 	}
 	if err := cliutil.ExclusiveModes(modes...); err != nil {
 		fatalUsage(err)
@@ -159,6 +175,10 @@ func main() {
 	}
 	if *overloadFlag != "" {
 		runOverloadSweep(platform, *overloadFlag, *overloadRate, *overloadIter)
+		return
+	}
+	if *lagFlag {
+		runWindowLag(lagWindow.Nanoseconds(), lagSlide.Nanoseconds(), lagCost.Nanoseconds(), lagSLO.Nanoseconds())
 		return
 	}
 
@@ -328,6 +348,37 @@ func runOverloadSweep(platform exp.Platform, apps, rate string, iters int) {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "streambench: overload sweep in %.2fs\n", time.Since(start).Seconds())
+}
+
+// runWindowLag is the -windowlag mode: the deterministic burst/catch-up
+// latency model over tumbling (or sliding) windows, printed as a
+// per-phase push-rate vs lag table with the SLO verdict last. The whole
+// sweep runs on virtual clocks, so the table is bit-identical across
+// hosts and runs.
+func runWindowLag(windowNs, slideNs, costNs, sloNs int64) {
+	cfg := exp.DefaultWindowLagConfig()
+	cfg.WindowNs = windowNs
+	cfg.SlideNs = slideNs
+	cfg.CostNs = costNs
+	cfg.SLONs = sloNs
+	res, err := exp.WindowLagSweep(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("phase      events    push/s       gap     end lag    peak lag      late\n")
+	for _, pt := range res.Points {
+		fmt.Printf("%-8s  %7d  %8.0f  %8s  %10s  %10s  %8d\n",
+			pt.Phase, pt.Events, pt.PushPerSec, time.Duration(pt.GapNs),
+			time.Duration(pt.EndLagNs), time.Duration(pt.PeakLagNs), pt.LateEvents)
+	}
+	fmt.Printf("\n%d windows of %s, max lag %s, final lag %s, %d late events, completeness >= %.2f%%\n",
+		res.Windows, time.Duration(cfg.WindowNs), time.Duration(res.MaxLagNs),
+		time.Duration(res.FinalLagNs), res.LateEvents, 100*res.MinCompleteness)
+	verdict := "MET"
+	if !res.SLOMet {
+		verdict = "MISSED"
+	}
+	fmt.Printf("SLO %s: %s (final lag %s)\n", time.Duration(res.SLONs), verdict, time.Duration(res.FinalLagNs))
 }
 
 // runRawSpeed is the -rawspeed mode: both engines analyze the identical

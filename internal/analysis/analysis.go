@@ -65,6 +65,14 @@ type Pipeline struct {
 	temporal  *TemporalModule
 	callsites *CallsiteModule
 	sizes     *SizesModule
+	windowed  *WindowedModule
+
+	// tracker, when attached, observes every folded event's virtual
+	// timestamp against the analyzer clock (event→report-update lag and
+	// per-window completeness). It rides registerEventKS on the serial
+	// paths and is re-wrapped into every replica's fold dispatcher,
+	// because EnableReplicas retires the event KSs.
+	tracker *WindowTracker
 
 	mu       sync.Mutex
 	finished bool
@@ -445,6 +453,10 @@ func (p *Pipeline) PartialOptions() PartialOptions {
 	if p.sizes != nil {
 		opts.Sizes = true
 	}
+	if p.windowed != nil {
+		opts.WindowNs = p.windowed.Window()
+		opts.WindowSlideNs = p.windowed.Slide()
+	}
 	return opts
 }
 
@@ -472,6 +484,13 @@ func (p *Pipeline) AbsorbPartial(pp *Partial) {
 	}
 	if pp.Shed != nil {
 		p.Completeness.Merge(pp.Shed)
+	}
+	if p.windowed != nil && pp.Windows != nil {
+		if err := p.windowed.Merge(pp.Windows); err != nil {
+			// Geometry mismatch between a tree partial and the root
+			// pipeline is a wiring bug, same class as an unregistered app.
+			panic(fmt.Sprintf("analysis: absorbing partial window series: %v", err))
+		}
 	}
 }
 

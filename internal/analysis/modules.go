@@ -150,19 +150,38 @@ type Matrix struct {
 	TimeNs []int64
 }
 
-// NewMatrix creates an N×N matrix.
+// NewMatrix creates an N×N matrix. The cell arrays are allocated on the
+// first write, not here: a matrix that never sees a P2P event — an empty
+// window partial, a drained replica, a decoded empty delta — stays O(1),
+// which matters once every per-window partial carries one and once the
+// wire can hand the decoder an app size it never folds events for.
 func NewMatrix(n int) *Matrix {
-	return &Matrix{N: n, Hits: make([]int64, n*n), Bytes: make([]int64, n*n), TimeNs: make([]int64, n*n)}
+	return &Matrix{N: n}
+}
+
+// ensure allocates the cell arrays before the first write.
+func (m *Matrix) ensure() {
+	if m.Hits == nil {
+		m.Hits = make([]int64, m.N*m.N)
+		m.Bytes = make([]int64, m.N*m.N)
+		m.TimeNs = make([]int64, m.N*m.N)
+	}
 }
 
 // At returns (hits, bytes, timeNs) for the src→dst cell.
 func (m *Matrix) At(src, dst int) (int64, int64, int64) {
+	if m.Hits == nil {
+		return 0, 0, 0
+	}
 	i := src*m.N + dst
 	return m.Hits[i], m.Bytes[i], m.TimeNs[i]
 }
 
 // Degree returns the number of distinct peers src communicates with.
 func (m *Matrix) Degree(src int) int {
+	if m.Hits == nil {
+		return 0
+	}
 	d := 0
 	for dst := 0; dst < m.N; dst++ {
 		if m.Hits[src*m.N+dst] > 0 {
@@ -183,6 +202,9 @@ func (m *Matrix) TotalBytes() int64 {
 
 // Edges calls fn for every non-empty src→dst cell.
 func (m *Matrix) Edges(fn func(src, dst int, hits, bytes, timeNs int64)) {
+	if m.Hits == nil {
+		return
+	}
 	for s := 0; s < m.N; s++ {
 		for d := 0; d < m.N; d++ {
 			i := s*m.N + d
@@ -218,6 +240,7 @@ func (m *TopologyModule) Add(ev *trace.Event) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.mat.ensure()
 	i := src*m.mat.N + dst
 	m.mat.Hits[i]++
 	m.mat.Bytes[i] += ev.Size
@@ -233,6 +256,7 @@ func (m *TopologyModule) fold(ev *trace.Event) {
 	if src < 0 || dst < 0 || src >= m.mat.N || dst >= m.mat.N {
 		return
 	}
+	m.mat.ensure()
 	i := src*m.mat.N + dst
 	m.mat.Hits[i]++
 	m.mat.Bytes[i] += ev.Size
@@ -240,10 +264,14 @@ func (m *TopologyModule) fold(ev *trace.Event) {
 }
 
 // mergeReset folds o into m and zeroes o's matrix in place. Allocation
-// free. The caller must own o exclusively.
+// free once both sides are warm. The caller must own o exclusively.
 func (m *TopologyModule) mergeReset(o *TopologyModule) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if o.mat.Hits == nil {
+		return
+	}
+	m.mat.ensure()
 	for i := range o.mat.Hits {
 		m.mat.Hits[i] += o.mat.Hits[i]
 		m.mat.Bytes[i] += o.mat.Bytes[i]
@@ -257,6 +285,10 @@ func (m *TopologyModule) Matrix() *Matrix {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := NewMatrix(m.mat.N)
+	if m.mat.Hits == nil {
+		return out
+	}
+	out.ensure()
 	copy(out.Hits, m.mat.Hits)
 	copy(out.Bytes, m.mat.Bytes)
 	copy(out.TimeNs, m.mat.TimeNs)
@@ -266,8 +298,12 @@ func (m *TopologyModule) Matrix() *Matrix {
 // Merge folds another topology module into this one.
 func (m *TopologyModule) Merge(o *TopologyModule) {
 	snap := o.Matrix()
+	if snap.Hits == nil {
+		return
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.mat.ensure()
 	for i := range snap.Hits {
 		m.mat.Hits[i] += snap.Hits[i]
 		m.mat.Bytes[i] += snap.Bytes[i]

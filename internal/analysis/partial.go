@@ -39,6 +39,12 @@ type Partial struct {
 	Callsites *CallsiteModule
 	Sizes     *SizesModule
 
+	// Windows is the time-resolved series: one inner per-window Partial
+	// per virtual-time window (see WindowedModule). Present when
+	// opts.WindowNs > 0; travels with the partial so tree leaves seal
+	// windows below the root and replicas carry them through epoch merges.
+	Windows *WindowedModule
+
 	// Shed carries the load-shedding ledger folded from audit packs (nil
 	// until one arrives). Unlike the modules above it is data-driven, not
 	// option-driven: it appears exactly when shedding occurred, so
@@ -62,10 +68,27 @@ type PartialOptions struct {
 	Callsites bool
 	// Sizes enables the message-size histogram.
 	Sizes bool
+	// WindowNs enables the time-resolved window series with the given
+	// window width in virtual nanoseconds (0 = off).
+	WindowNs int64
+	// WindowSlideNs is the window slide; NewPartial normalizes it to
+	// (0, WindowNs] — any value outside that range (including 0) means
+	// tumbling windows, i.e. slide == width. Ignored when WindowNs == 0.
+	WindowSlideNs int64
 }
 
-// NewPartial creates an empty partial profile.
+// NewPartial creates an empty partial profile. Window options are
+// normalized: with WindowNs > 0 the slide snaps into (0, WindowNs]
+// (anything outside means tumbling), with WindowNs == 0 the slide is
+// zeroed — so equal effective configurations compare equal as opts.
 func NewPartial(appID uint32, opts PartialOptions) *Partial {
+	if opts.WindowNs > 0 {
+		if opts.WindowSlideNs <= 0 || opts.WindowSlideNs > opts.WindowNs {
+			opts.WindowSlideNs = opts.WindowNs
+		}
+	} else {
+		opts.WindowNs, opts.WindowSlideNs = 0, 0
+	}
 	pp := &Partial{
 		AppID:    appID,
 		opts:     opts,
@@ -84,6 +107,9 @@ func NewPartial(appID uint32, opts PartialOptions) *Partial {
 	}
 	if opts.Sizes {
 		pp.Sizes = NewSizesModule()
+	}
+	if opts.WindowNs > 0 {
+		pp.Windows = NewWindowedModule(opts.WindowNs, opts.WindowSlideNs, innerWindowOptions(opts))
 	}
 	return pp
 }
@@ -107,6 +133,9 @@ func (pp *Partial) AddEvent(ev *trace.Event) {
 	}
 	if pp.Sizes != nil {
 		pp.Sizes.Add(ev)
+	}
+	if pp.Windows != nil {
+		pp.Windows.Add(ev)
 	}
 }
 
@@ -141,6 +170,11 @@ func (pp *Partial) Merge(o *Partial) error {
 	if pp.Sizes != nil {
 		pp.Sizes.Merge(o.Sizes)
 	}
+	if pp.Windows != nil {
+		if err := pp.Windows.Merge(o.Windows); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -153,6 +187,22 @@ func (pp *Partial) Merge(o *Partial) error {
 
 var partialMagic = [4]byte{'V', 'P', 'P', '1'}
 
+// maxDecodedAppSize caps the app size a decoded partial may claim. The
+// bound matters: NewPartial allocates the dense 24*N^2-byte topology
+// matrix up front, so an unchecked wire header is a one-frame memory
+// bomb (N = 1<<24 maps ~6 PB). 1<<12 covers the paper's largest
+// application partition (2560 procs) with a ~400 MB worst case.
+const maxDecodedAppSize = 1 << 12
+
+// maxDecodedTemporalBuckets caps both the bucket count a decoded
+// temporal map may claim and the dense Stat cells it may materialize
+// across kinds. The bucket count sizes read-time series slices and the
+// per-kind arrays are dense up to the highest index an entry names, so
+// without the cap a sub-kilobyte payload forces multi-gigabyte
+// allocations. 1<<20 buckets is a week of runtime at the default 10 ms
+// temporal window — far past any real run.
+const maxDecodedTemporalBuckets = 1 << 20
+
 const (
 	flagWait uint32 = 1 << iota
 	flagTemporal
@@ -160,6 +210,7 @@ const (
 	flagSizes
 	flagPendings
 	flagShed
+	flagWindowed
 )
 
 // AppendCanonical appends the partial's full canonical encoding
@@ -203,8 +254,18 @@ func (pp *Partial) encode(buf []byte, pendings, reset bool) []byte {
 	if shed {
 		flags |= flagShed
 	}
+	if pp.Windows != nil {
+		flags |= flagWindowed
+	}
 	w.u32(flags)
 	w.i64(pp.opts.TemporalWindowNs)
+	if pp.Windows != nil {
+		// Window geometry rides in the header, not the trailing section:
+		// DecodePartial must construct the module (from options) before
+		// any section is read.
+		w.i64(pp.opts.WindowNs)
+		w.i64(pp.opts.WindowSlideNs)
+	}
 
 	pp.encodeProfiler(&w, reset)
 	pp.encodeTopology(&w, reset)
@@ -224,7 +285,112 @@ func (pp *Partial) encode(buf []byte, pendings, reset bool) []byte {
 	if shed {
 		pp.encodeShed(&w, reset)
 	}
+	if pp.Windows != nil {
+		pp.encodeWindows(&w, pendings, reset)
+	}
 	return w.buf
+}
+
+func (pp *Partial) encodeWindows(w *pwriter, pendings, reset bool) {
+	m := pp.Windows
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Only windows with content travel: a window drained by an earlier
+	// delta flush stays in the map but must not change the bytes (content-
+	// equal series encode identically whatever their flush history).
+	idxs := make([]int64, 0, len(m.wins))
+	for i, wp := range m.wins {
+		if windowHasContent(wp, pendings) {
+			idxs = append(idxs, i)
+		}
+	}
+	sort.Slice(idxs, func(a, b int) bool { return idxs[a] < idxs[b] })
+	w.u32(uint32(len(idxs)))
+	for _, i := range idxs {
+		w.i64(i)
+		// Length-prefixed nested encoding: reserve the u32, encode the
+		// inner partial in place, backfill.
+		lenAt := len(w.buf)
+		w.u32(0)
+		w.buf = m.wins[i].encode(w.buf, pendings, reset)
+		binary.LittleEndian.PutUint32(w.buf[lenAt:], uint32(len(w.buf)-lenAt-4))
+	}
+}
+
+// windowHasContent reports whether an inner window partial would
+// contribute anything to an encoding: folded events, or (on a
+// pendings-carrying encode) unmatched wait queues left behind by an
+// earlier delta flush.
+func windowHasContent(wp *Partial, pendings bool) bool {
+	wp.Profiler.mu.Lock()
+	events := wp.Profiler.events
+	wp.Profiler.mu.Unlock()
+	if events > 0 {
+		return true
+	}
+	if !pendings || wp.Waits == nil {
+		return false
+	}
+	ws := wp.Waits
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	for _, q := range ws.sends {
+		if len(q) > 0 {
+			return true
+		}
+	}
+	for _, q := range ws.recvs {
+		if len(q) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (pp *Partial) decodeWindows(r *preader) error {
+	m := pp.Windows
+	n := int(r.u32())
+	if r.err != nil {
+		return r.err
+	}
+	if n < 0 || n > maxDecodedWindows {
+		return fmt.Errorf("analysis: partial window count %d outside [0, %d]", n, maxDecodedWindows)
+	}
+	if err := r.fits(n, 8+4); err != nil {
+		return err
+	}
+	prev := int64(-1)
+	for i := 0; i < n; i++ {
+		idx := r.i64()
+		bl := int(r.u32())
+		if r.err != nil {
+			return r.err
+		}
+		if idx < 0 || idx <= prev {
+			return fmt.Errorf("analysis: partial window index %d out of order after %d", idx, prev)
+		}
+		prev = idx
+		if bl < 0 || bl > len(r.buf)-r.off {
+			r.fail()
+			return r.err
+		}
+		wp, err := DecodePartial(r.buf[r.off : r.off+bl])
+		if err != nil {
+			return fmt.Errorf("analysis: window %d: %w", idx, err)
+		}
+		r.off += bl
+		// A nested windowed partial (or any other module drift) shows up
+		// as an options mismatch against the derived inner selection.
+		if wp.AppID != 0 || wp.opts != m.inner {
+			return fmt.Errorf("analysis: window %d module selection %+v does not match series %+v",
+				idx, wp.opts, m.inner)
+		}
+		if wp.Waits != nil {
+			wp.Waits.lazy = true
+		}
+		m.wins[idx] = wp
+	}
+	return r.err
 }
 
 // AddAudit folds audit-pack entries (a recorder's shed ledger) into the
@@ -366,8 +532,11 @@ func (pp *Partial) encodeWaits(w *pwriter, pendings, reset bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	// Settle first: pairs realized here ride in the settled sums, and only
-	// the truly unmatched remainder travels as pending queues.
-	m.settleLocked()
+	// the truly unmatched remainder travels as pending queues. Lazy
+	// (per-window) modules skip this and ship whole queues instead.
+	if !m.lazy {
+		m.settleLocked()
+	}
 	w.i64(m.pairs)
 	n := 0
 	for _, v := range m.lateHits {
@@ -551,7 +720,7 @@ func DecodePartial(buf []byte) (*Partial, error) {
 	if r.err != nil {
 		return nil, r.err
 	}
-	if appSize < 0 || appSize > 1<<24 {
+	if appSize < 0 || appSize > maxDecodedAppSize {
 		return nil, fmt.Errorf("analysis: implausible partial app size %d", appSize)
 	}
 	opts := PartialOptions{
@@ -565,6 +734,22 @@ func DecodePartial(buf []byte) (*Partial, error) {
 			return nil, fmt.Errorf("analysis: partial temporal flag with window %d", window)
 		}
 		opts.TemporalWindowNs = window
+	}
+	if flags&flagWindowed != 0 {
+		opts.WindowNs = r.i64()
+		opts.WindowSlideNs = r.i64()
+		if r.err != nil {
+			return nil, r.err
+		}
+		// NewPartial would silently normalize these; on the wire an
+		// out-of-range geometry is hostile input and fails loudly.
+		if opts.WindowNs <= 0 {
+			return nil, fmt.Errorf("analysis: partial windowed flag with width %d", opts.WindowNs)
+		}
+		if opts.WindowSlideNs <= 0 || opts.WindowSlideNs > opts.WindowNs {
+			return nil, fmt.Errorf("analysis: partial window slide %d outside (0, %d]",
+				opts.WindowSlideNs, opts.WindowNs)
+		}
 	}
 	pp := NewPartial(appID, opts)
 	if err := pp.decodeProfiler(&r); err != nil {
@@ -602,6 +787,11 @@ func DecodePartial(buf []byte) (*Partial, error) {
 			return nil, err
 		}
 	}
+	if pp.Windows != nil {
+		if err := pp.decodeWindows(&r); err != nil {
+			return nil, err
+		}
+	}
 	if r.err != nil {
 		return nil, r.err
 	}
@@ -632,6 +822,10 @@ func (pp *Partial) decodeTopology(r *preader) error {
 	if err := r.fits(n, 4+24); err != nil {
 		return err
 	}
+	if n == 0 {
+		return nil
+	}
+	m.mat.ensure()
 	cells := len(m.mat.Hits)
 	for i := 0; i < n; i++ {
 		idx := int(r.u32())
@@ -742,35 +936,51 @@ func (pp *Partial) decodeWaits(r *preader) error {
 func (pp *Partial) decodeTemporal(r *preader) error {
 	m := pp.Temporal
 	m.buckets = int(r.u32())
-	if m.buckets < 0 || m.buckets > 1<<28 {
+	if m.buckets < 0 || m.buckets > maxDecodedTemporalBuckets {
 		return fmt.Errorf("analysis: implausible partial temporal bucket count %d", m.buckets)
 	}
 	nk := int(r.u32())
 	if err := r.fits(nk, 8); err != nil {
 		return err
 	}
+	cells := 0
 	for i := 0; i < nk; i++ {
 		k := trace.Kind(r.u32())
 		n := int(r.u32())
 		if err := r.fits(n, 4+24); err != nil {
 			return err
 		}
-		var per []Stat
+		// First pass: validate entries and find the highest bucket index so
+		// the dense slice is allocated exactly once. Growing it inside the
+		// fill loop would let a small payload with ascending indices force
+		// repeated near-gigabyte reallocations.
+		mark := r.off
+		maxB := -1
 		for j := 0; j < n; j++ {
 			b := int(r.u32())
-			st := r.stat()
+			r.stat()
 			if r.err != nil {
 				return r.err
 			}
 			if b >= m.buckets {
 				return fmt.Errorf("analysis: partial temporal bucket %d outside %d", b, m.buckets)
 			}
-			if len(per) <= b {
-				grown := make([]Stat, b+1)
-				copy(grown, per)
-				per = grown
+			if b > maxB {
+				maxB = b
 			}
-			per[b] = st
+		}
+		cells += maxB + 1
+		if cells > maxDecodedTemporalBuckets {
+			return fmt.Errorf("analysis: partial temporal map claims %d cells (cap %d)", cells, maxDecodedTemporalBuckets)
+		}
+		var per []Stat
+		if maxB >= 0 {
+			per = make([]Stat, maxB+1)
+		}
+		r.off = mark
+		for j := 0; j < n; j++ {
+			b := int(r.u32())
+			per[b] = r.stat()
 		}
 		m.perKind[k] = per
 	}

@@ -72,6 +72,9 @@ func NewReplica(appID uint32, opts PartialOptions) *Replica {
 		if pp.Sizes != nil {
 			pp.Sizes.fold(ev)
 		}
+		if pp.Windows != nil {
+			pp.Windows.fold(ev)
+		}
 	}
 	return r
 }
@@ -123,13 +126,30 @@ func (pp *Partial) MergeReset(o *Partial) error {
 	if pp.Sizes != nil {
 		pp.Sizes.mergeReset(o.Sizes)
 	}
+	if pp.Windows != nil {
+		pp.Windows.mergeReset(o.Windows)
+	}
 	return nil
 }
 
 // NewReplica creates a replica matching the pipeline's enabled module
-// selection. Call after every Enable* the run will use.
+// selection. Call after every Enable* the run will use. An attached
+// window tracker is woven into the fold dispatcher here: replicas
+// bypass the event KSs, so the lag observer must ride the replica's own
+// fold path.
 func (p *Pipeline) NewReplica() *Replica {
-	return NewReplica(0, p.PartialOptions())
+	r := NewReplica(0, p.PartialOptions())
+	p.mu.Lock()
+	tr := p.tracker
+	p.mu.Unlock()
+	if tr != nil {
+		inner := r.foldFn
+		r.foldFn = func(ev *trace.Event) {
+			inner(ev)
+			tr.OnEvent(ev)
+		}
+	}
+	return r
 }
 
 // MergeReplica folds a replica's accumulated state into the pipeline's
@@ -159,6 +179,9 @@ func (p *Pipeline) MergeReplica(r *Replica) {
 	}
 	if pp.Shed != nil {
 		p.Completeness.mergeReset(pp.Shed)
+	}
+	if p.windowed != nil && pp.Windows != nil {
+		p.windowed.mergeReset(pp.Windows)
 	}
 	r.pending = 0
 	if p.rm != nil {

@@ -49,6 +49,16 @@ type WaitStateModule struct {
 	lateNs   []int64
 	lateHits []int64
 	pairs    int64
+
+	// lazy suppresses settling on merge, flush and encode (not on the
+	// read accessors). Set on per-window modules: a window holds only a
+	// slice of each channel's queues, and positional pairing within that
+	// slice is not a prefix of the channel's whole-run FIFO matching when
+	// a channel straddles a window boundary — settling early would make
+	// the merge of all windows diverge from the whole-run module. Lazy
+	// queues travel un-paired and settle once, at read time, when the
+	// series is complete.
+	lazy bool
 }
 
 type chanKey struct {
@@ -312,11 +322,13 @@ func (m *WaitStateModule) MergeFull(o *WaitStateModule) {
 			return a.tEnd < b.tEnd
 		})
 	}
-	for k := range sends {
-		m.drainChannel(k)
-	}
-	for k := range recvs {
-		m.drainChannel(k)
+	if !m.lazy {
+		for k := range sends {
+			m.drainChannel(k)
+		}
+		for k := range recvs {
+			m.drainChannel(k)
+		}
 	}
 }
 
@@ -352,7 +364,9 @@ func (m *WaitStateModule) mergeResetFull(o *WaitStateModule) {
 		}
 		delete(o.recvs, k)
 	}
-	m.settleLocked()
+	if !m.lazy {
+		m.settleLocked()
+	}
 }
 
 // drainChannel positionally pairs a channel's queues while both sides

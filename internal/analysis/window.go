@@ -1,0 +1,294 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// WindowedModule is the time-resolved analysis layer: it slices virtual
+// time into windows and keeps one inner Partial per window, so the
+// report answers "what was the application doing during [iW, iW+W)"
+// instead of only whole-run aggregates. Windows are tumbling when the
+// slide equals the window width and sliding (overlapping) when the slide
+// is smaller; every event is folded into each window covering its start
+// time, so a sliding configuration costs about window/slide times the
+// tumbling fold work.
+//
+// The inner per-window partials carry the profiler, topology, density,
+// wait-state and call-site modules (per the outer selection) and reuse
+// the whole Partial merge machinery: window i merged across leaves,
+// replicas or epochs is byte-identical to window i computed flat, the
+// same associative-commutative argument the reduction tree runs on.
+// Two deliberate deviations from the outer Partial:
+//
+//   - Inner partials always carry AppID 0. The window index is the key;
+//     replicas (which fold under AppID 0) and tree leaves (which fold
+//     under the real AppID) must produce mergeable windows.
+//
+//   - Inner wait-state modules are lazy: they never settle while the
+//     engine merges, flushes or encodes them. Settling inside a window
+//     would pair a channel's sends and recvs positionally *within the
+//     window's slice of the queues*, which is not a prefix of the
+//     channel's whole-run FIFO matching when a channel straddles a
+//     window boundary — early pairing would make "merge of all sealed
+//     windows == whole-run partial" false. Pairing happens at read time
+//     (report rendering), when the windows are complete.
+//
+// Lateness is deliberately NOT part of this module: late events always
+// merge into their (still-open) window, so window content is exact and
+// byte-identical whatever the arrival order. The arrival-time story —
+// lag gauges and per-window completeness bounds — lives in
+// WindowTracker, outside the canonical content.
+type WindowedModule struct {
+	mu       sync.Mutex
+	windowNs int64
+	slideNs  int64
+	inner    PartialOptions
+	wins     map[int64]*Partial
+}
+
+// maxDecodedWindows caps the window count a decoded partial may claim.
+// A run long enough to exceed it would hold > 1M live windows in memory
+// anyway; on the wire a larger count is hostile input and fails loudly.
+const maxDecodedWindows = 1 << 20
+
+// innerWindowOptions derives the per-window module selection from the
+// outer partial's: the time-resolved modules of the outer set, minus the
+// temporal map (windows subsume it), the size histogram (whole-run
+// shape) and the windows themselves (no recursion).
+func innerWindowOptions(o PartialOptions) PartialOptions {
+	return PartialOptions{
+		AppSize:   o.AppSize,
+		WaitState: o.WaitState,
+		Callsites: o.Callsites,
+	}
+}
+
+// NewWindowedModule creates a windowed series with the given window
+// width and slide (both in virtual nanoseconds; slide must be in
+// (0, windowNs]) over the given inner module selection.
+func NewWindowedModule(windowNs, slideNs int64, inner PartialOptions) *WindowedModule {
+	return &WindowedModule{
+		windowNs: windowNs,
+		slideNs:  slideNs,
+		inner:    inner,
+		wins:     make(map[int64]*Partial),
+	}
+}
+
+// newWindowPartial mints one inner per-window partial: AppID 0 and a
+// lazy wait-state module (see the type comment).
+func (m *WindowedModule) newWindowPartial() *Partial {
+	wp := NewPartial(0, m.inner)
+	if wp.Waits != nil {
+		wp.Waits.lazy = true
+	}
+	return wp
+}
+
+// Window returns the window width in virtual nanoseconds.
+func (m *WindowedModule) Window() int64 { return m.windowNs }
+
+// Slide returns the slide in virtual nanoseconds (== Window for
+// tumbling windows).
+func (m *WindowedModule) Slide() int64 { return m.slideNs }
+
+// WindowIndex returns the tumbling window index covering virtual time t
+// (window i covers [i*slide, i*slide+window)).
+func (m *WindowedModule) WindowIndex(t int64) int64 {
+	if t < 0 {
+		return 0
+	}
+	return t / m.slideNs
+}
+
+// Add folds one event into every window covering its start time.
+func (m *WindowedModule) Add(ev *trace.Event) {
+	m.mu.Lock()
+	m.fold(ev)
+	m.mu.Unlock()
+}
+
+// fold is Add without the lock (replica fast path, caller owns m). The
+// inner modules' fold twins are used directly: the caller's ownership of
+// the WindowedModule covers the inner partials too.
+func (m *WindowedModule) fold(ev *trace.Event) {
+	t := ev.TStart
+	if t < 0 {
+		t = 0
+	}
+	hi := t / m.slideNs
+	lo := hi
+	if m.slideNs < m.windowNs {
+		// Sliding: every window i with i*slide <= t < i*slide+window.
+		lo = (t-m.windowNs)/m.slideNs + 1
+		if t < m.windowNs {
+			lo = 0 // the series starts at virtual time zero
+		}
+	}
+	for i := lo; i <= hi; i++ {
+		wp := m.wins[i]
+		if wp == nil {
+			wp = m.newWindowPartial()
+			m.wins[i] = wp
+		}
+		foldWindowEvent(wp, ev)
+	}
+}
+
+// foldWindowEvent folds one event into an inner window partial through
+// the modules' lock-free fold twins (the outer WindowedModule
+// synchronization covers them).
+func foldWindowEvent(wp *Partial, ev *trace.Event) {
+	wp.Profiler.fold(ev)
+	wp.Topology.fold(ev)
+	wp.Density.fold(ev)
+	if wp.Waits != nil {
+		wp.Waits.fold(ev)
+	}
+	if wp.Callsites != nil {
+		wp.Callsites.fold(ev)
+	}
+}
+
+// Len reports how many windows hold content.
+func (m *WindowedModule) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.wins)
+}
+
+// Indices returns the populated window indices in ascending order.
+func (m *WindowedModule) Indices() []int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]int64, 0, len(m.wins))
+	for i := range m.wins {
+		out = append(out, i)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// WindowPartial returns window idx's inner partial (nil if empty). The
+// returned partial is shared with the module: treat it as read-only.
+func (m *WindowedModule) WindowPartial(idx int64) *Partial {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.wins[idx]
+}
+
+// Series extracts one per-window value across the populated index range
+// (gaps filled with zero), for sparkline rendering. fn reads one window.
+func (m *WindowedModule) Series(fn func(*Partial) float64) (firstIdx int64, values []float64) {
+	idxs := m.Indices()
+	if len(idxs) == 0 {
+		return 0, nil
+	}
+	first, last := idxs[0], idxs[len(idxs)-1]
+	values = make([]float64, last-first+1)
+	for _, i := range idxs {
+		m.mu.Lock()
+		wp := m.wins[i]
+		m.mu.Unlock()
+		values[i-first] = fn(wp)
+	}
+	return first, values
+}
+
+// Merge folds another windowed series into this one (copy semantics:
+// o is read, not consumed).
+func (m *WindowedModule) Merge(o *WindowedModule) error {
+	if o == nil {
+		return nil
+	}
+	if m.windowNs != o.windowNs || m.slideNs != o.slideNs || m.inner != o.inner {
+		return fmt.Errorf("analysis: merging incompatible window series (%d/%d vs %d/%d)",
+			m.windowNs, m.slideNs, o.windowNs, o.slideNs)
+	}
+	// Snapshot o's index set, then merge window by window; inner Merge
+	// locks the inner modules itself.
+	o.mu.Lock()
+	idxs := make([]int64, 0, len(o.wins))
+	for i := range o.wins {
+		idxs = append(idxs, i)
+	}
+	o.mu.Unlock()
+	for _, i := range idxs {
+		o.mu.Lock()
+		src := o.wins[i]
+		o.mu.Unlock()
+		if src == nil {
+			continue
+		}
+		m.mu.Lock()
+		dst := m.wins[i]
+		if dst == nil {
+			dst = m.newWindowPartial()
+			m.wins[i] = dst
+		}
+		m.mu.Unlock()
+		if err := dst.Merge(src); err != nil {
+			return fmt.Errorf("analysis: window %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// mergeReset folds o into m with move semantics and leaves o empty; a
+// window m has never seen moves wholesale (no allocation, no copying).
+// The caller must own o exclusively (it is a paused replica).
+func (m *WindowedModule) mergeReset(o *WindowedModule) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, wp := range o.wins {
+		dst := m.wins[i]
+		if dst == nil {
+			m.wins[i] = wp
+			delete(o.wins, i)
+			continue
+		}
+		if err := dst.MergeReset(wp); err != nil {
+			// Both sides were minted by this module pair from identical
+			// options; a mismatch is a programming error, not data.
+			panic(fmt.Sprintf("analysis: window %d epoch merge: %v", i, err))
+		}
+	}
+}
+
+// EnableWindows registers the windowed series on the pipeline: a KS on
+// the board path, a fold hook on the fused path, and (through
+// PartialOptions) the per-window sections of every leaf and replica
+// partial. windowNs is the window width in virtual nanoseconds; slideNs
+// is the slide (0 = tumbling). Call after every other Enable* the run
+// will use — the inner per-window module selection mirrors what is
+// enabled at this point — and before EnableReplicas.
+func (p *Pipeline) EnableWindows(windowNs, slideNs int64) (*WindowedModule, error) {
+	if windowNs <= 0 {
+		return nil, fmt.Errorf("analysis: window width %d must be positive", windowNs)
+	}
+	if slideNs == 0 {
+		slideNs = windowNs
+	}
+	if slideNs < 0 || slideNs > windowNs {
+		return nil, fmt.Errorf("analysis: window slide %d outside (0, %d]", slideNs, windowNs)
+	}
+	inner := innerWindowOptions(p.PartialOptions())
+	m := NewWindowedModule(windowNs, slideNs, inner)
+	if err := p.registerEventKS("windows", m.Add); err != nil {
+		return nil, err
+	}
+	p.windowed = m
+	return m, nil
+}
+
+// WindowedSeries returns the pipeline's windowed module (nil unless
+// EnableWindows ran).
+func (p *Pipeline) WindowedSeries() *WindowedModule {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.windowed
+}

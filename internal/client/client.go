@@ -283,6 +283,9 @@ func SessionMetaFromCapture(cp *exp.Capture) wire.SessionMeta {
 		TemporalWindowNs: cp.TemporalWindowNs,
 		Callsites:        cp.Callsites,
 		Sizes:            cp.Sizes,
+		WindowNs:         cp.WindowNs,
+		WindowSlideNs:    cp.WindowSlideNs,
+		WindowGraceNs:    cp.WindowGraceNs,
 	}
 	for _, a := range cp.Apps {
 		m.Apps = append(m.Apps, wire.AppMeta{
@@ -384,6 +387,8 @@ func NewDiffReplayer(meta wire.SessionMeta) *DiffReplayer {
 			TemporalWindowNs: meta.TemporalWindowNs,
 			Callsites:        meta.Callsites,
 			Sizes:            meta.Sizes,
+			WindowNs:         meta.WindowNs,
+			WindowSlideNs:    meta.WindowSlideNs,
 		}))
 	}
 	return r

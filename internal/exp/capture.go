@@ -56,6 +56,12 @@ type Capture struct {
 	TemporalWindowNs int64
 	Callsites        bool
 	Sizes            bool
+	// WindowNs, WindowSlideNs, WindowGraceNs echo the windowed-analysis
+	// geometry (0 = not windowed), so a replayed session rebuilds the
+	// same per-window series.
+	WindowNs      int64
+	WindowSlideNs int64
+	WindowGraceNs int64
 	// Labels maps call-site contexts to labels (Callsites runs only).
 	Labels map[uint32]string
 }
@@ -122,6 +128,9 @@ func CaptureRun(p Platform, workloads []*nas.Workload, opts ProfileOptions) (*Ca
 		TemporalWindowNs: opts.TemporalWindowNs,
 		Callsites:        opts.Callsites,
 		Sizes:            opts.Sizes,
+		WindowNs:         opts.WindowNs,
+		WindowSlideNs:    opts.WindowSlideNs,
+		WindowGraceNs:    opts.WindowGraceNs,
 	}
 	if opts.Callsites {
 		cp.Labels = map[uint32]string{}

@@ -60,6 +60,19 @@ type ProfileOptions struct {
 	Callsites bool
 	// Sizes enables the message-size distribution.
 	Sizes bool
+	// WindowNs enables the time-resolved windowed analysis: every
+	// pipeline additionally seals per-window partial profiles over the
+	// virtual-time axis (window width WindowNs), and an arrival tracker
+	// measures the event-to-report latency and per-window lateness. 0
+	// disables (the default; runs are byte-identical to before).
+	WindowNs int64
+	// WindowSlideNs selects sliding windows with the given stride
+	// (0 or >= WindowNs = tumbling).
+	WindowSlideNs int64
+	// WindowGraceNs is the lateness grace period: an event is late for
+	// its window when the analyzer's effective clock has passed the
+	// window's end by more than this when the event folds.
+	WindowGraceNs int64
 	// Export, when non-nil, enables the selective trace-export KS ("IO
 	// proxy", paper §VI) on every application; after the run each
 	// application's module is handed to the callback for writing. Export
@@ -174,6 +187,16 @@ type RunStats struct {
 	// reached; AdaptDecisions counts its control decisions.
 	AdaptMaxLevel  int
 	AdaptDecisions int64
+	// WindowCount sums the populated analysis windows across applications
+	// (windowed runs only).
+	WindowCount int
+	// WindowMaxLagNs is the high-water event-to-report latency observed
+	// by any application's window tracker.
+	WindowMaxLagNs int64
+	// WindowLateEvents counts events that arrived after their window
+	// should have sealed (still merged; the completeness bound accounts
+	// them).
+	WindowLateEvents int64
 }
 
 // ProfileRun executes one or more instrumented applications together with
@@ -293,6 +316,7 @@ func ProfileRunStats(p Platform, workloads []*nas.Workload, opts ProfileOptions)
 		sinkMetrics   *telemetry.SinkMetrics
 		codecMetrics  *telemetry.CodecMetrics
 		treeMetrics   *telemetry.TreeMetrics
+		windowMetrics *telemetry.WindowMetrics
 	)
 	if opts.Telemetry {
 		reg = telemetry.NewRegistry()
@@ -304,7 +328,18 @@ func ProfileRunStats(p Platform, workloads []*nas.Workload, opts ProfileOptions)
 		if plan != nil {
 			treeMetrics = telemetry.NewTreeMetrics(reg, plan.Tiers())
 		}
+		if opts.WindowNs > 0 {
+			// Only windowed runs register the window instruments, so the
+			// engine-health chapter of every other run is unchanged.
+			windowMetrics = telemetry.NewWindowMetrics(reg)
+		}
 	}
+
+	// Windowed analysis plumbing: one series module and one arrival
+	// tracker per application, shared between the ingest closures below
+	// and the per-pipeline Enable loop after layout construction.
+	windows := make([]*analysis.WindowedModule, len(workloads))
+	trackers := make([]*analysis.WindowTracker, len(workloads))
 
 	disp, err := analysis.NewDispatcher(bb)
 	if err != nil {
@@ -361,6 +396,7 @@ func ProfileRunStats(p Platform, workloads []*nas.Workload, opts ProfileOptions)
 			stats:      stats,
 			cost:       cost,
 			ctl:        ctl,
+			trackers:   make([]*analysis.WindowTracker, len(workloads)),
 		}
 	}
 
@@ -495,12 +531,32 @@ func ProfileRunStats(p Platform, workloads []*nas.Workload, opts ProfileOptions)
 			absorb := func(blk *vmpi.Block) bool {
 				stats.RootIngestBytes += blk.Size
 				stats.RootPosts++
+				if opts.WindowNs > 0 {
+					// Advance the window trackers' analyzer clock before the
+					// fold so event-to-report lag is measured against the
+					// moment this block started being analyzed.
+					now := int64(r.Now())
+					for _, tr := range trackers {
+						if tr != nil {
+							tr.SetNow(now)
+						}
+					}
+				}
 				consumed, err := fused.Absorb(blk.From, blk.Payload)
 				if err != nil {
 					fail(err)
 					return false
 				}
 				r.Compute(cost(blk.Size))
+				if opts.WindowNs > 0 {
+					now := int64(r.Now())
+					for _, tr := range trackers {
+						if tr != nil {
+							tr.SetNow(now)
+							tr.Publish()
+						}
+					}
+				}
 				if consumed {
 					// The fused path folded the events synchronously;
 					// the buffer can go back to the pool. (On the board
@@ -688,11 +744,25 @@ func ProfileRunStats(p Platform, workloads []*nas.Workload, opts ProfileOptions)
 				return nil, nil, err
 			}
 		}
+		if opts.WindowNs > 0 {
+			// After every content module so the windows inherit the final
+			// selection, and before the leaf-options capture so tree leaves
+			// seal the same per-window series the root pipeline would.
+			windows[i], err = pipes[i].EnableWindows(opts.WindowNs, opts.WindowSlideNs)
+			if err != nil {
+				return nil, nil, err
+			}
+			trackers[i] = analysis.NewWindowTracker(opts.WindowNs, opts.WindowSlideNs, opts.WindowGraceNs, windowMetrics)
+			if err := pipes[i].AttachWindowTracker(trackers[i]); err != nil {
+				return nil, nil, err
+			}
+		}
 		if tree != nil {
 			// Leaves build partials with exactly the root pipeline's
 			// module selection, so everything shipped up the tree has a
 			// home to be absorbed into.
 			tree.leafOpts[part.ID] = pipes[i].PartialOptions()
+			tree.trackers[part.ID] = trackers[i]
 		}
 		if opts.Replicas > 0 {
 			// After every Enable*: the replica module selection is frozen
@@ -750,6 +820,24 @@ func ProfileRunStats(p Platform, workloads []*nas.Workload, opts ProfileOptions)
 	fused.Sync()
 	for _, pipe := range pipes {
 		pipe.Settle()
+	}
+
+	if opts.WindowNs > 0 {
+		// Final tracker flush before the closing telemetry snapshot so the
+		// window gauges' end-of-run values ride into the engine-health
+		// chapter.
+		for i := range workloads {
+			if tr := trackers[i]; tr != nil {
+				tr.Publish()
+				if tr.MaxLagNs() > stats.WindowMaxLagNs {
+					stats.WindowMaxLagNs = tr.MaxLagNs()
+				}
+				stats.WindowLateEvents += tr.LateEvents()
+			}
+			if windows[i] != nil {
+				stats.WindowCount += windows[i].Len()
+			}
+		}
 	}
 
 	if opts.Telemetry {
@@ -810,6 +898,8 @@ func ProfileRunStats(p Platform, workloads []*nas.Workload, opts ProfileOptions)
 			Callsites:    callsites[i],
 			Sizes:        sizes[i],
 			Completeness: pipes[i].Completeness,
+			Windows:      windows[i],
+			WindowLag:    trackers[i],
 		})
 	}
 	return rep, stats, nil

@@ -39,6 +39,12 @@ type treeCtx struct {
 	// ctl, when non-nil, is the adaptive controller; its FlushEvery
 	// overrides the static partial-flush cadence.
 	ctl *adapt.Controller
+	// trackers holds the per-application window trackers (indexed by
+	// application partition id, entries nil when the run is not
+	// windowed). Leaves observe them: in tree mode raw events exist only
+	// below the root, so event-to-report lag is measured at the leaf
+	// fold.
+	trackers []*analysis.WindowTracker
 
 	// Filled by bind once the layout exists (before world.Run).
 	leafGlobals []int
@@ -132,7 +138,8 @@ type treeLeaf struct {
 	tc    *treeCtx
 	r     *mpi.Rank
 	up    *vmpi.Stream
-	parts []*analysis.Partial // indexed by application partition id
+	parts []*analysis.Partial  // indexed by application partition id
+	folds []func(*trace.Event) // cached per-app fold funcs (tracker-wrapped)
 	packs int
 	// decs holds one persistent v3 stream decoder per writer (keyed by
 	// the writer's universe rank): v3 packs index a cross-pack
@@ -148,6 +155,7 @@ func (tc *treeCtx) newLeaf(r *mpi.Rank, sess *vmpi.Session) *treeLeaf {
 	}
 	return &treeLeaf{tc: tc, r: r, up: up,
 		parts: make([]*analysis.Partial, tc.apps),
+		folds: make([]func(*trace.Event), tc.apps),
 		decs:  make(map[int]*trace.StreamDecoder)}
 }
 
@@ -178,6 +186,35 @@ func (lf *treeLeaf) part(appID uint32) *analysis.Partial {
 	return pp
 }
 
+// fold returns (building on first use) the application's event fold:
+// the partial's AddEvent, wrapped with the window tracker on windowed
+// runs so leaves account event-to-report lag where the raw events
+// actually fold.
+func (lf *treeLeaf) fold(appID uint32) func(*trace.Event) {
+	if f := lf.folds[appID]; f != nil {
+		return f
+	}
+	pp := lf.part(appID)
+	f := pp.AddEvent
+	if tr := lf.tracker(appID); tr != nil {
+		f = func(ev *trace.Event) {
+			pp.AddEvent(ev)
+			tr.OnEvent(ev)
+		}
+	}
+	lf.folds[appID] = f
+	return f
+}
+
+// tracker returns the application's window tracker (nil when the run is
+// not windowed).
+func (lf *treeLeaf) tracker(appID uint32) *analysis.WindowTracker {
+	if int(appID) >= len(lf.tc.trackers) {
+		return nil
+	}
+	return lf.tc.trackers[appID]
+}
+
 // absorb folds one incoming pack into the leaf's partials and charges
 // the modeled analysis time. Audit packs — the admission gates' shed
 // ledgers — fold into the partial's completeness module and ride the
@@ -203,14 +240,19 @@ func (lf *treeLeaf) absorb(blk *vmpi.Block) bool {
 		blk.Release()
 		return true
 	}
-	pp := lf.part(h.AppID)
+	fold := lf.fold(h.AppID)
+	if tr := lf.tracker(h.AppID); tr != nil {
+		// Clock in before the fold: lag is judged against the moment this
+		// leaf started analyzing the pack.
+		tr.SetNow(int64(lf.r.Now()))
+	}
 	if h.Version == trace.PackV3 {
 		dec := lf.decs[blk.From]
 		if dec == nil {
 			dec = &trace.StreamDecoder{}
 			lf.decs[blk.From] = dec
 		}
-		if _, err := dec.DecodeDispatch(blk.Payload, pp.AddEvent); err != nil {
+		if _, err := dec.DecodeDispatch(blk.Payload, fold); err != nil {
 			lf.tc.fail(fmt.Errorf("exp: leaf pack decode: %w", err))
 			return false
 		}
@@ -221,7 +263,7 @@ func (lf *treeLeaf) absorb(blk *vmpi.Block) bool {
 			return false
 		}
 		for pr.Next() {
-			pp.AddEvent(pr.Event())
+			fold(pr.Event())
 		}
 		if err := pr.Err(); err != nil {
 			lf.tc.fail(fmt.Errorf("exp: leaf pack decode: %w", err))
@@ -229,6 +271,10 @@ func (lf *treeLeaf) absorb(blk *vmpi.Block) bool {
 		}
 	}
 	lf.r.Compute(lf.tc.cost(blk.Size))
+	if tr := lf.tracker(h.AppID); tr != nil {
+		tr.SetNow(int64(lf.r.Now()))
+		tr.Publish()
+	}
 	blk.Release()
 	lf.packs++
 	if n := lf.tc.cadence(); n > 0 && lf.packs%n == 0 {

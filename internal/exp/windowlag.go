@@ -1,0 +1,196 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/trace"
+)
+
+// This file is the windowed-analysis latency harness: a deterministic,
+// fully virtual-clock model of the event-to-report-update latency under
+// a varying push rate. The producer emits events at a per-phase cadence
+// (the push rate) on the virtual timeline; the analyzer serves them in
+// arrival order at a fixed modeled cost per event, its clock never
+// running ahead of the arrivals. When a burst phase pushes faster than
+// the analyzer drains, the analyzer's clock falls behind the stream and
+// the window tracker's lag gauge rises; when the push rate relaxes, the
+// backlog drains and lag returns under the SLO. No host time and no
+// sleeps are involved, so every run of the same config is bit-identical.
+
+// WindowLagPhase is one push-rate phase of the sweep.
+type WindowLagPhase struct {
+	// Name labels the phase in the result table ("steady", "burst", ...).
+	Name string `json:"name"`
+	// Events is how many events the phase pushes.
+	Events int `json:"events"`
+	// GapNs is the virtual time between event arrivals — the inverse
+	// push rate. A gap below the analyzer's per-event cost overloads it.
+	GapNs int64 `json:"gap_ns"`
+}
+
+// WindowLagConfig parameterizes a latency sweep.
+type WindowLagConfig struct {
+	// WindowNs / SlideNs / GraceNs is the window geometry (SlideNs 0 =
+	// tumbling), exactly as analysis.PartialOptions takes it.
+	WindowNs int64
+	SlideNs  int64
+	GraceNs  int64
+	// CostNs is the analyzer's modeled cost per event.
+	CostNs int64
+	// Ranks sizes the synthetic application (0 = 8).
+	Ranks int
+	// Phases is the push-rate schedule, served in order.
+	Phases []WindowLagPhase
+	// SLONs is the latency objective the final (drained) lag is asserted
+	// against.
+	SLONs int64
+}
+
+// WindowLagPoint is one phase's measured outcome.
+type WindowLagPoint struct {
+	Phase string `json:"phase"`
+	// GapNs / PushPerSec echo the phase's push rate.
+	GapNs      int64   `json:"gap_ns"`
+	PushPerSec float64 `json:"push_per_sec"`
+	Events     int64   `json:"events"`
+	// EndLagNs is the event-to-fold lag of the phase's last event;
+	// PeakLagNs the highest lag inside the phase.
+	EndLagNs  int64 `json:"end_lag_ns"`
+	PeakLagNs int64 `json:"peak_lag_ns"`
+	// LateEvents counts events of this phase that arrived after their
+	// window (plus grace) had passed.
+	LateEvents int64 `json:"late_events"`
+}
+
+// WindowLagResult is a full sweep's outcome.
+type WindowLagResult struct {
+	Points []WindowLagPoint `json:"points"`
+	// Windows counts the sealed per-window partials the run produced.
+	Windows int `json:"windows"`
+	// MaxLagNs / FinalLagNs are the run's high-water and end-of-run lag.
+	MaxLagNs   int64 `json:"max_lag_ns"`
+	FinalLagNs int64 `json:"final_lag_ns"`
+	LateEvents int64 `json:"late_events"`
+	// MinCompleteness is the lowest per-window completeness bound.
+	MinCompleteness float64 `json:"min_completeness"`
+	SLONs           int64   `json:"slo_ns"`
+	// SLOMet reports FinalLagNs <= SLONs: the analyzer caught back up.
+	SLOMet bool `json:"slo_met"`
+	// Partial is the run's whole analysis state, windows included (not
+	// serialized into bench records).
+	Partial *analysis.Partial `json:"-"`
+	// Tracker is the run's lateness accounting.
+	Tracker *analysis.WindowTracker `json:"-"`
+}
+
+// WindowLagSweep runs the latency model over the configured phases.
+func WindowLagSweep(cfg WindowLagConfig) (*WindowLagResult, error) {
+	if cfg.WindowNs <= 0 {
+		return nil, fmt.Errorf("exp: window lag sweep needs WindowNs > 0")
+	}
+	if cfg.CostNs <= 0 {
+		return nil, fmt.Errorf("exp: window lag sweep needs CostNs > 0")
+	}
+	if len(cfg.Phases) == 0 {
+		return nil, fmt.Errorf("exp: window lag sweep needs at least one phase")
+	}
+	ranks := cfg.Ranks
+	if ranks <= 0 {
+		ranks = 8
+	}
+	pp := analysis.NewPartial(0, analysis.PartialOptions{
+		AppSize:       ranks,
+		WindowNs:      cfg.WindowNs,
+		WindowSlideNs: cfg.SlideNs,
+	})
+	tr := analysis.NewWindowTracker(cfg.WindowNs, cfg.SlideNs, cfg.GraceNs, nil)
+
+	res := &WindowLagResult{SLONs: cfg.SLONs, Partial: pp, Tracker: tr, MinCompleteness: 1}
+	var (
+		arrival int64 // producer's virtual clock
+		now     int64 // analyzer's virtual clock
+		seq     int64
+	)
+	for _, ph := range cfg.Phases {
+		if ph.Events <= 0 || ph.GapNs <= 0 {
+			return nil, fmt.Errorf("exp: phase %q needs Events > 0 and GapNs > 0", ph.Name)
+		}
+		pt := WindowLagPoint{
+			Phase:      ph.Name,
+			GapNs:      ph.GapNs,
+			PushPerSec: 1e9 / float64(ph.GapNs),
+			Events:     int64(ph.Events),
+		}
+		lateBefore := tr.LateEvents()
+		for i := 0; i < ph.Events; i++ {
+			arrival += ph.GapNs
+			// The analyzer cannot serve an event before it arrives; once
+			// it has, the fold costs CostNs of analyzer time.
+			if arrival > now {
+				now = arrival
+			}
+			tr.SetNow(now)
+			ev := syntheticEvent(seq, arrival, ranks)
+			pp.AddEvent(&ev)
+			tr.OnEvent(&ev)
+			now += cfg.CostNs
+			if lag := tr.LagNs(); lag > pt.PeakLagNs {
+				pt.PeakLagNs = lag
+			}
+			seq++
+		}
+		pt.EndLagNs = tr.LagNs()
+		pt.LateEvents = tr.LateEvents() - lateBefore
+		res.Points = append(res.Points, pt)
+	}
+	res.Windows = pp.Windows.Len()
+	res.MaxLagNs = tr.MaxLagNs()
+	res.FinalLagNs = tr.LagNs()
+	res.LateEvents = tr.LateEvents()
+	for _, idx := range tr.WindowIndices() {
+		if c := tr.Completeness(idx); c < res.MinCompleteness {
+			res.MinCompleteness = c
+		}
+	}
+	res.SLOMet = res.FinalLagNs <= cfg.SLONs
+	return res, nil
+}
+
+// syntheticEvent builds the i-th event of the deterministic lag
+// workload: point-to-point sends walking the rank space, so the
+// profiler, topology and density modules all accumulate content.
+func syntheticEvent(i, t int64, ranks int) trace.Event {
+	r := int32(i % int64(ranks))
+	return trace.Event{
+		Kind:   trace.KindSend,
+		Rank:   r,
+		Peer:   (r + 1) % int32(ranks),
+		Tag:    int32(i % 7),
+		Comm:   0,
+		Ctx:    uint32(i % 3),
+		Size:   int64(64 + (i%8)*256),
+		TStart: t,
+		TEnd:   t + 500,
+	}
+}
+
+// DefaultWindowLagConfig is the streambench -windowlag (and bench
+// recorder) configuration: a steady phase the analyzer keeps up with, a
+// 4x-overload burst, and a relaxed recovery phase that drains the
+// backlog back under the SLO.
+func DefaultWindowLagConfig() WindowLagConfig {
+	return WindowLagConfig{
+		WindowNs: 1_000_000, // 1 ms windows
+		SlideNs:  0,         // tumbling
+		GraceNs:  0,
+		CostNs:   1_000, // 1 us of analyzer time per event
+		Ranks:    8,
+		SLONs:    100_000, // 100 us
+		Phases: []WindowLagPhase{
+			{Name: "steady", Events: 4000, GapNs: 2_000},
+			{Name: "burst", Events: 4000, GapNs: 250},
+			{Name: "recover", Events: 4000, GapNs: 4_000},
+		},
+	}
+}

@@ -320,6 +320,12 @@ type Chapter struct {
 	// completeness section: per-class shed counts and the loss bound
 	// shed/(shed+analyzed) from the adaptive engine's admission gates.
 	Completeness *analysis.CompletenessModule
+	// Windows, when non-nil and non-empty, adds the time-resolved window
+	// series: per-window sparklines over the virtual-time axis.
+	Windows *analysis.WindowedModule
+	// WindowLag, when non-nil, adds the event-to-report latency and
+	// per-window completeness rows beneath the window series.
+	WindowLag *analysis.WindowTracker
 }
 
 // StreamLossRow is one instrumented stream's loss accounting, surfaced
@@ -539,6 +545,57 @@ func (ch *Chapter) render(w io.Writer) error {
 			ch.WaitState.Pairs(), time.Duration(ch.WaitState.TotalLateNs()))
 		if st.Max > 0 {
 			io.WriteString(w, DensityASCII(late, 48))
+		}
+	}
+
+	// Time-resolved window series (optional module). Sparklines run over
+	// the populated index range, gaps rendered as zero cells, so the
+	// virtual-time axis is uniform whatever the event distribution.
+	if ch.Windows != nil && ch.Windows.Len() > 0 {
+		win := time.Duration(ch.Windows.Window())
+		slide := time.Duration(ch.Windows.Slide())
+		kind := "tumbling"
+		if slide != win {
+			kind = "sliding"
+		}
+		firstIdx, events := ch.Windows.Series(func(p *analysis.Partial) float64 {
+			return float64(p.Profiler.Events())
+		})
+		fmt.Fprintf(w, "\nWindowed series: %d windows of %v (%s, slide %v), first index %d\n",
+			ch.Windows.Len(), win, kind, slide, firstIdx)
+		fmt.Fprintf(w, "  events/window     |%s|\n", Sparkline(events, 72))
+		_, bytes := ch.Windows.Series(func(p *analysis.Partial) float64 {
+			var b int64
+			for _, k := range p.Profiler.Kinds() {
+				b += p.Profiler.Stat(k).Bytes
+			}
+			return float64(b)
+		})
+		if st := Stats(bytes); st.Max > 0 {
+			fmt.Fprintf(w, "  bytes/window      |%s|\n", Sparkline(bytes, 72))
+		}
+		_, waits := ch.Windows.Series(func(p *analysis.Partial) float64 {
+			if p.Waits == nil {
+				return 0
+			}
+			return float64(p.Waits.TotalLateNs())
+		})
+		if st := Stats(waits); st.Max > 0 {
+			fmt.Fprintf(w, "  late-sender/window |%s|\n", Sparkline(waits, 72))
+		}
+		if tr := ch.WindowLag; tr != nil {
+			fmt.Fprintf(w, "  event-to-report lag: last %v, max %v (%d events, %d late)\n",
+				time.Duration(tr.LagNs()), time.Duration(tr.MaxLagNs()),
+				tr.Events(), tr.LateEvents())
+			minC, minIdx := 1.0, int64(-1)
+			for _, idx := range ch.Windows.Indices() {
+				if c := tr.Completeness(idx); c < minC {
+					minC, minIdx = c, idx
+				}
+			}
+			if minIdx >= 0 {
+				fmt.Fprintf(w, "  worst window completeness: >=%.2f%% (window %d)\n", 100*minC, minIdx)
+			}
 		}
 	}
 

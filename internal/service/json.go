@@ -30,6 +30,10 @@ type HistoryJSON struct {
 	Apps       []string `json:"apps"`
 	Events     int64    `json:"events"`
 	AppSeconds float64  `json:"app_seconds"`
+	// LastSampleNs is the virtual timestamp of the job's final telemetry
+	// sampler snapshot; omitted when the run carried no engine-health
+	// telemetry.
+	LastSampleNs int64 `json:"last_sample_ns,omitempty"`
 }
 
 // StatusJSON is the service's machine-readable state: cumulative stats
@@ -64,7 +68,7 @@ func (s *Service) StatusJSON() ([]byte, error) {
 		out.Stats.PerBenchmark = append(out.Stats.PerBenchmark, BenchCountJSON{Name: n, Count: st.PerBenchmark[n]})
 	}
 	for _, res := range s.History() {
-		h := HistoryJSON{ID: res.ID, Events: res.Events, AppSeconds: res.AppSeconds}
+		h := HistoryJSON{ID: res.ID, Events: res.Events, AppSeconds: res.AppSeconds, LastSampleNs: res.LastSampleNs}
 		for _, ch := range res.Report.Chapters {
 			h.Apps = append(h.Apps, ch.App)
 		}

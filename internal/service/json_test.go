@@ -61,3 +61,67 @@ func TestStatusJSON(t *testing.T) {
 		t.Fatalf("history row = %+v vs result %+v", st.History[0], r2)
 	}
 }
+
+// TestLastSampleSurfaced pins the regression where the final telemetry
+// sampler snapshot timestamp was recorded by the engine-health
+// accumulator but never surfaced: the history ring and the status JSON
+// must both expose it, since windowed lag gauges are read off sampler
+// snapshots and the last stamp bounds how stale a job's closing lag
+// figures can be.
+func TestLastSampleSurfaced(t *testing.T) {
+	s := New(exp.Tera100())
+
+	// A job without telemetry has no sampler; its stamp is zero and the
+	// JSON field is omitted.
+	plain, err := s.Submit(smallJob(t, "CG", 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.LastSampleNs != 0 {
+		t.Fatalf("telemetry-free job LastSampleNs = %d, want 0", plain.LastSampleNs)
+	}
+
+	job := smallJob(t, "LU", 8)
+	job.Options.Telemetry = true
+	res, err := s.Submit(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LastSampleNs <= 0 {
+		t.Fatalf("telemetry job LastSampleNs = %d, want > 0", res.LastSampleNs)
+	}
+	if got := res.Report.EngineHealth.LastSampleNs(); got != res.LastSampleNs {
+		t.Fatalf("result stamp %d != engine-health stamp %d", res.LastSampleNs, got)
+	}
+
+	raw, err := s.StatusJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st ServiceStatusJSON
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.History) != 2 {
+		t.Fatalf("history rows = %d, want 2", len(st.History))
+	}
+	if st.History[0].LastSampleNs != 0 {
+		t.Fatalf("telemetry-free row stamp = %d, want 0", st.History[0].LastSampleNs)
+	}
+	if st.History[1].LastSampleNs != res.LastSampleNs {
+		t.Fatalf("status row stamp = %d, want %d", st.History[1].LastSampleNs, res.LastSampleNs)
+	}
+	// The omitempty contract: a zero stamp does not appear on the wire.
+	var loose struct {
+		History []map[string]any `json:"history"`
+	}
+	if err := json.Unmarshal(raw, &loose); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := loose.History[0]["last_sample_ns"]; ok {
+		t.Fatal("zero last_sample_ns serialized despite omitempty")
+	}
+	if _, ok := loose.History[1]["last_sample_ns"]; !ok {
+		t.Fatal("last_sample_ns missing from telemetry job row")
+	}
+}

@@ -45,6 +45,12 @@ type Result struct {
 	Events int64
 	// AppSeconds sums the applications' virtual wall times.
 	AppSeconds float64
+	// LastSampleNs is the virtual timestamp of the job's final telemetry
+	// sampler snapshot (0 when the run carried no engine-health
+	// telemetry). Windowed lag gauges are read off sampler snapshots, so
+	// the instant the last one was taken bounds how stale the job's
+	// closing lag figures can be.
+	LastSampleNs int64
 }
 
 // Stats is the service's cumulative view across jobs.
@@ -149,6 +155,9 @@ func (s *Service) Record(rep *report.Report) Result {
 	defer s.mu.Unlock()
 	s.nextID++
 	res := Result{ID: s.nextID, Report: rep}
+	if rep.EngineHealth != nil {
+		res.LastSampleNs = rep.EngineHealth.LastSampleNs()
+	}
 	for _, ch := range rep.Chapters {
 		res.Events += ch.Profiler.Events()
 		res.AppSeconds += ch.WallTime.Seconds()

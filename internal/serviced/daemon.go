@@ -116,6 +116,13 @@ type SessionStatus struct {
 	Events         int64  `json:"events"`
 	ReplicaMerges  int64  `json:"replica_merges"`
 	ReplicaMergeNs int64  `json:"replica_merge_ns"`
+	// Windows / LateEvents / MinCompleteness surface the windowed
+	// analysis (windowed sessions only): windows observed so far, events
+	// that arrived after their window should have sealed, and the lowest
+	// per-window completeness bound.
+	Windows         int     `json:"windows,omitempty"`
+	LateEvents      int64   `json:"late_events,omitempty"`
+	MinCompleteness float64 `json:"min_completeness,omitempty"`
 }
 
 // Daemon hosts concurrent profiling sessions.
@@ -219,6 +226,11 @@ func (d *Daemon) Status() (Status, error) {
 			Events:         s.events.Load(),
 			ReplicaMerges:  s.laneMerges.Load(),
 			ReplicaMergeNs: s.laneMergeNs.Load(),
+		}
+		if w, late, minC := s.windowStats(); w > 0 {
+			ss.Windows = w
+			ss.LateEvents = late
+			ss.MinCompleteness = minC
 		}
 		st.ReplicaMerges += ss.ReplicaMerges
 		st.ReplicaMergeNs += ss.ReplicaMergeNs
@@ -467,13 +479,16 @@ func (c *conn) run() error {
 				c.d.opts.Service.Record(rep)
 			}
 			c.d.endSession(c.sess, false)
+			_, late, _ := c.sess.windowStats()
 			fr := wire.FinalReport{
-				Session:  c.sess.id,
-				Events:   c.sess.analyzedEvents(),
-				Packs:    c.sess.packs.Load(),
-				Shed:     c.sess.shedTotal(),
-				MaxLevel: c.sess.gov.maxLevel(),
-				Rendered: buf.String(),
+				Session:    c.sess.id,
+				Events:     c.sess.analyzedEvents(),
+				Packs:      c.sess.packs.Load(),
+				Shed:       c.sess.shedTotal(),
+				MaxLevel:   c.sess.gov.maxLevel(),
+				Windows:    c.sess.sealedWindows(),
+				LateEvents: late,
+				Rendered:   buf.String(),
 			}
 			payload, err := wire.EncodeFinalReport(fr)
 			if err != nil {

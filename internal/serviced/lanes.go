@@ -142,6 +142,12 @@ func (l *lane) fold(j laneJob) error {
 	foldEv := func(ev *trace.Event) {
 		if app.gate.Admit(ev.Kind) {
 			rep.Fold(ev)
+			if app.tracker != nil {
+				// The tracker is shared across lanes by design: its counts
+				// are atomics plus one mutex, so lateness accounting stays
+				// exact even though the fold path is shared-nothing.
+				app.tracker.OnEvent(ev)
+			}
 			l.admitted++
 		}
 	}

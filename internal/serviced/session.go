@@ -30,6 +30,12 @@ type sessionApp struct {
 	delta *analysis.Partial
 	// cum is the merge of every sealed delta: the state Snapshot serves.
 	cum *analysis.Partial
+	// tracker, on windowed sessions, is the arrival-side lateness
+	// accounting shared by the synchronous fold and every ingest lane.
+	// The daemon has no virtual clock, so lag stays zero and lateness is
+	// judged purely against the event-time watermark: an event behind a
+	// window the watermark already passed is late.
+	tracker *analysis.WindowTracker
 }
 
 // session is one tenant's profiling session: per-application partial
@@ -104,6 +110,8 @@ func newSession(id uint64, format int, meta wire.SessionMeta, gov *governor, epo
 			TemporalWindowNs: meta.TemporalWindowNs,
 			Callsites:        meta.Callsites,
 			Sizes:            meta.Sizes,
+			WindowNs:         meta.WindowNs,
+			WindowSlideNs:    meta.WindowSlideNs,
 		}
 		if _, dup := s.byID[am.AppID]; dup {
 			return nil, fmt.Errorf("serviced: duplicate app id %d in register", am.AppID)
@@ -114,6 +122,9 @@ func newSession(id uint64, format int, meta wire.SessionMeta, gov *governor, epo
 			gate:  gov.newGate(),
 			delta: analysis.NewPartial(am.AppID, opts),
 			cum:   analysis.NewPartial(am.AppID, opts),
+		}
+		if meta.WindowNs > 0 {
+			app.tracker = analysis.NewWindowTracker(meta.WindowNs, meta.WindowSlideNs, meta.WindowGraceNs, nil)
 		}
 		s.apps = append(s.apps, app)
 		s.byID[am.AppID] = app
@@ -181,6 +192,9 @@ func (s *session) foldSync(src uint32, app *sessionApp, pack []byte, version int
 	fold := func(ev *trace.Event) {
 		if app.gate.Admit(ev.Kind) {
 			app.delta.AddEvent(ev)
+			if app.tracker != nil {
+				app.tracker.OnEvent(ev)
+			}
 			admitted++
 		}
 	}
@@ -362,6 +376,8 @@ func (s *session) close(cm wire.CloseMeta) (*report.Report, error) {
 			Callsites:    a.cum.Callsites,
 			Sizes:        a.cum.Sizes,
 			Completeness: comp,
+			Windows:      a.cum.Windows,
+			WindowLag:    a.tracker,
 		})
 	}
 	return rep, nil
@@ -381,6 +397,42 @@ func (s *session) analyzedEvents() int64 {
 	var n int64
 	for _, a := range s.apps {
 		n += a.cum.Profiler.Events()
+	}
+	return n
+}
+
+// windowStats sums the windowed-analysis accounting across applications:
+// windows the trackers observed, late events, and the worst-case
+// (lowest) per-window completeness bound (1 when the session is not
+// windowed or nothing was late). Only tracker state is read — atomics
+// and its own mutex — so Status may call this while the connection
+// goroutine (and its lanes) ingest.
+func (s *session) windowStats() (windows int, late int64, minCompleteness float64) {
+	minCompleteness = 1
+	for _, a := range s.apps {
+		if a.tracker == nil {
+			continue
+		}
+		windows += a.tracker.WindowsObserved()
+		late += a.tracker.LateEvents()
+		for _, idx := range a.tracker.WindowIndices() {
+			if c := a.tracker.Completeness(idx); c < minCompleteness {
+				minCompleteness = c
+			}
+		}
+	}
+	return
+}
+
+// sealedWindows counts the populated windows in the cumulative state.
+// Call only from the connection goroutine (the cumulative partials are
+// goroutine-owned).
+func (s *session) sealedWindows() int {
+	var n int
+	for _, a := range s.apps {
+		if a.cum.Windows != nil {
+			n += a.cum.Windows.Len()
+		}
 	}
 	return n
 }

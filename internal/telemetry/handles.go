@@ -721,3 +721,46 @@ func (m *ReplicaMetrics) OnEpochMerge(ns int64) {
 	m.epochs.Add(1)
 	m.mergeNs.Observe(ns)
 }
+
+// WindowMetrics instruments the time-resolved windowed analysis layer:
+// the event→report-update lag (virtual event timestamp vs analyzer fold
+// clock) and the lateness accounting behind per-window completeness
+// bounds. Fed by analysis.WindowTracker.Publish, not per event, so the
+// fold hot path stays free of instrument traffic. All methods are
+// nil-safe.
+type WindowMetrics struct {
+	lagNs    *Gauge
+	maxLagNs *Gauge
+	events   *Counter
+	late     *Counter
+	open     *Gauge
+}
+
+// NewWindowMetrics registers the windowed-analysis instrument set on reg.
+func NewWindowMetrics(reg *Registry) *WindowMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &WindowMetrics{
+		lagNs:    reg.Gauge("window.lag_ns"),
+		maxLagNs: reg.Gauge("window.max_lag_ns"),
+		events:   reg.Counter("window.events"),
+		late:     reg.Counter("window.late_events"),
+		open:     reg.Gauge("window.open"),
+	}
+}
+
+// OnPublish records one tracker publication: the current and high-water
+// event→fold lag, the event/late-event counts folded since the last
+// publication (deltas — the counters accumulate), and the number of
+// windows observed so far.
+func (m *WindowMetrics) OnPublish(lagNs, maxLagNs, events, late int64, open int) {
+	if m == nil {
+		return
+	}
+	m.lagNs.Set(lagNs)
+	m.maxLagNs.Set(maxLagNs)
+	m.events.Add(events)
+	m.late.Add(late)
+	m.open.Set(int64(open))
+}

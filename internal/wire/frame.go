@@ -333,10 +333,16 @@ func ParseState(p []byte) (State, error) {
 	if len(p) < 21 {
 		return State{}, fmt.Errorf("wire: state payload %d bytes, want >= 21", len(p))
 	}
+	// The full flag must be exactly 0 or 1: the codec is canonical in
+	// both directions (parse∘encode is the identity), so a sloppy flag
+	// byte is malformed input, not an alternate spelling of true.
+	if p[16] > 1 {
+		return State{}, fmt.Errorf("wire: state full flag %d", p[16])
+	}
 	s := State{
 		From: binary.LittleEndian.Uint64(p),
 		To:   binary.LittleEndian.Uint64(p[8:]),
-		Full: p[16] != 0,
+		Full: p[16] == 1,
 	}
 	n := int(binary.LittleEndian.Uint32(p[17:]))
 	off := 21
@@ -390,10 +396,27 @@ type SessionMeta struct {
 	TemporalWindowNs int64 `json:"temporal_window_ns,omitempty"`
 	Callsites        bool  `json:"callsites,omitempty"`
 	Sizes            bool  `json:"sizes,omitempty"`
+	// WindowNs enables the time-resolved windowed analysis with the given
+	// window width in virtual nanoseconds (0 = off): Snapshot/Diff states
+	// then carry per-window sealed partials inside each application's
+	// encoded partial.
+	WindowNs int64 `json:"window_ns,omitempty"`
+	// WindowSlideNs selects sliding windows with the given stride
+	// (0 = tumbling). Must lie in [0, WindowNs].
+	WindowSlideNs int64 `json:"window_slide_ns,omitempty"`
+	// WindowGraceNs is the lateness grace period for the per-window
+	// completeness accounting.
+	WindowGraceNs int64 `json:"window_grace_ns,omitempty"`
 }
 
 // maxSessionApps bounds a register frame's application list.
 const maxSessionApps = 1024
+
+// maxSessionProcs bounds one registered application's proc count. It
+// mirrors the analysis decoder's app-size cap: a session app's size
+// becomes a dense 24*N^2-byte topology matrix in the daemon, so an
+// unchecked register frame is a one-frame memory bomb.
+const maxSessionProcs = 1 << 12
 
 // EncodeSessionMeta marshals a register payload.
 func EncodeSessionMeta(m SessionMeta) ([]byte, error) { return json.Marshal(m) }
@@ -414,9 +437,24 @@ func ParseSessionMeta(p []byte) (SessionMeta, error) {
 		if a.Name == "" {
 			return SessionMeta{}, fmt.Errorf("wire: register app %d has no name", i)
 		}
-		if a.Procs <= 0 || a.Procs > 1<<24 {
+		if a.Procs <= 0 || a.Procs > maxSessionProcs {
 			return SessionMeta{}, fmt.Errorf("wire: register app %q has implausible proc count %d", a.Name, a.Procs)
 		}
+	}
+	// Window geometry is validated here, loudly, like the partial
+	// decoder's header checks: a daemon must not silently normalize a
+	// client's request into different windows than the client expects.
+	if m.WindowNs < 0 {
+		return SessionMeta{}, fmt.Errorf("wire: register with negative window_ns %d", m.WindowNs)
+	}
+	if m.WindowSlideNs < 0 || (m.WindowNs > 0 && m.WindowSlideNs > m.WindowNs) {
+		return SessionMeta{}, fmt.Errorf("wire: register window_slide_ns %d outside [0, %d]", m.WindowSlideNs, m.WindowNs)
+	}
+	if m.WindowNs == 0 && (m.WindowSlideNs != 0 || m.WindowGraceNs != 0) {
+		return SessionMeta{}, fmt.Errorf("wire: register window slide/grace without window_ns")
+	}
+	if m.WindowGraceNs < 0 {
+		return SessionMeta{}, fmt.Errorf("wire: register with negative window_grace_ns %d", m.WindowGraceNs)
 	}
 	return m, nil
 }
@@ -472,6 +510,13 @@ type FinalReport struct {
 	// MaxLevel is the highest escalation level the session's admission
 	// governor reached (0 = never throttled).
 	MaxLevel int `json:"max_level"`
+	// Windows counts the populated analysis windows across the session's
+	// applications (windowed sessions only).
+	Windows int `json:"windows,omitempty"`
+	// LateEvents counts events that arrived after their window should
+	// have sealed (windowed sessions only; they still merged — the
+	// per-window completeness bound accounts them).
+	LateEvents int64 `json:"late_events,omitempty"`
 	// Rendered is the report's structured-text rendering — byte-identical
 	// to the in-process service path for the same packs and metadata.
 	Rendered string `json:"rendered"`

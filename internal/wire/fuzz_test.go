@@ -4,7 +4,26 @@ import (
 	"bytes"
 	"io"
 	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/trace"
 )
+
+// windowedPartialBytes builds a small canonical windowed partial — the
+// wire-visible window-series payload a State/Diff answer carries per
+// app. Test-only import: the wire package itself stays analysis-free.
+func windowedPartialBytes(tb testing.TB) []byte {
+	tb.Helper()
+	pp := analysis.NewPartial(0, analysis.PartialOptions{AppSize: 4, WaitState: true, WindowNs: 1000})
+	for i := int64(0); i < 40; i++ {
+		ev := trace.Event{
+			Kind: trace.KindSend, Rank: int32(i % 4), Peer: int32((i + 1) % 4),
+			Size: 64, TStart: i * 100, TEnd: i*100 + 50,
+		}
+		pp.AddEvent(&ev)
+	}
+	return pp.AppendCanonical(nil)
+}
 
 // FuzzDecodeFrame drives the frame reader and every frame-payload parser
 // over arbitrary byte streams, mirroring the trace package's pack fuzz
@@ -30,8 +49,22 @@ func FuzzDecodeFrame(f *testing.F) {
 	if meta, err := EncodeSessionMeta(SessionMeta{Title: "t", Apps: []AppMeta{{Name: "CG.A", Procs: 16, AppID: 1}}}); err == nil {
 		f.Add(seed(TypeRegister, meta))
 	}
+	// A windowed register (the PR10 geometry fields) and a State whose app
+	// payload is a real windowed partial encoding, so mutations reach the
+	// window-series framing (count, indices, nested length-prefixed
+	// partials) through the daemon's own dispatch path.
+	if meta, err := EncodeSessionMeta(SessionMeta{
+		Title: "w", Apps: []AppMeta{{Name: "LU.A", Procs: 8, AppID: 0}},
+		WindowNs: 1000, WindowSlideNs: 500, WindowGraceNs: 100,
+	}); err == nil {
+		f.Add(seed(TypeRegister, meta))
+	}
+	f.Add(seed(TypeState, EncodeState(State{From: 0, To: 3, Full: true, Apps: [][]byte{windowedPartialBytes(f)}})))
 	if cm, err := EncodeCloseMeta(CloseMeta{Apps: []AppFinal{{WallNs: 1}}}); err == nil {
 		f.Add(seed(TypeClose, cm))
+	}
+	if rep, err := EncodeFinalReport(FinalReport{Events: 5, Windows: 3, LateEvents: 1}); err == nil {
+		f.Add(seed(TypeReport, rep))
 	}
 	// Two frames back to back: boundary handling.
 	f.Add(append(seed(TypeSnapshot, nil), seed(TypeStats, nil)...))
